@@ -1,0 +1,120 @@
+//! Planner configuration.
+
+use bc_tsp::SolveConfig;
+use bc_wpt::{ChargingModel, EnergyModel};
+
+use crate::generation::BundleStrategy;
+
+/// How a bundle's dwell time is determined.
+///
+/// The paper's text fixes the dwell by "the sensor which is the farthest
+/// away from the anchor point"; [`DwellPolicy::Realized`] implements that
+/// literally. [`DwellPolicy::RadiusWorstCase`] instead charges for the
+/// full generation radius `r` whenever the bundle has more than one
+/// member — the conservative schedule a charger would use without
+/// per-sensor distance knowledge, and an ablation that reproduces the
+/// steeper charging-time growth of the paper's Fig. 6(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DwellPolicy {
+    /// Dwell until the realized farthest member is fully charged.
+    #[default]
+    Realized,
+    /// Dwell as if the farthest member sat on the bundle-radius boundary.
+    RadiusWorstCase,
+}
+
+/// Everything a planner needs besides the network itself.
+///
+/// Use [`PlannerConfig::paper_sim`] or [`PlannerConfig::paper_testbed`]
+/// for the two environments of the paper's evaluation, then adjust fields
+/// as needed.
+///
+/// # Example
+///
+/// ```
+/// use bc_core::PlannerConfig;
+///
+/// let mut cfg = PlannerConfig::paper_sim(20.0);
+/// cfg.opt_distance_steps = 64; // finer BC-OPT anchor sweep
+/// assert_eq!(cfg.bundle_radius, 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Charging bundle radius `r` (m).
+    pub bundle_radius: f64,
+    /// Wireless charging model (Eq. 1 parameters).
+    pub charging: ChargingModel,
+    /// Charger energy accounting (`E_m`, `p_c`).
+    pub energy: EnergyModel,
+    /// Bundle generation strategy used by BC / BC-OPT.
+    pub bundle_strategy: BundleStrategy,
+    /// TSP pipeline settings.
+    pub tsp: SolveConfig,
+    /// Include the base station as a zero-dwell tour stop. The paper's
+    /// simulations optimise the tour among charging positions only, so
+    /// this defaults to `false`.
+    pub include_base: bool,
+    /// Number of displacement radii `d` BC-OPT tries per anchor
+    /// (Algorithm 3's `for d = 0 : max` discretisation).
+    pub opt_distance_steps: usize,
+    /// Maximum full sweeps BC-OPT makes over the tour before stopping.
+    pub opt_max_rounds: usize,
+    /// How BC sets dwell times (SC, CSS and BC-OPT always use realized
+    /// distances).
+    pub dwell_policy: DwellPolicy,
+}
+
+impl PlannerConfig {
+    /// Simulation environment of Section VI-A with the given bundle
+    /// radius.
+    pub fn paper_sim(bundle_radius: f64) -> Self {
+        PlannerConfig {
+            bundle_radius,
+            charging: ChargingModel::paper_sim(),
+            energy: EnergyModel::paper_sim(),
+            bundle_strategy: BundleStrategy::Greedy,
+            tsp: SolveConfig::default(),
+            include_base: false,
+            opt_distance_steps: 24,
+            opt_max_rounds: 8,
+            dwell_policy: DwellPolicy::default(),
+        }
+    }
+
+    /// Testbed environment of Section VII with the given bundle radius.
+    pub fn paper_testbed(bundle_radius: f64) -> Self {
+        PlannerConfig {
+            bundle_radius,
+            charging: ChargingModel::paper_testbed(),
+            energy: EnergyModel::paper_testbed(),
+            bundle_strategy: BundleStrategy::Greedy,
+            tsp: SolveConfig::default(),
+            include_base: false,
+            opt_distance_steps: 24,
+            opt_max_rounds: 8,
+            dwell_policy: DwellPolicy::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let sim = PlannerConfig::paper_sim(10.0);
+        let tb = PlannerConfig::paper_testbed(1.0);
+        assert!(sim.charging.beta().unwrap() > tb.charging.beta().unwrap());
+        assert_eq!(sim.bundle_radius, 10.0);
+        assert_eq!(tb.bundle_radius, 1.0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = PlannerConfig::paper_sim(10.0);
+        assert!(cfg.opt_distance_steps > 0);
+        assert!(cfg.opt_max_rounds > 0);
+        assert!(!cfg.include_base);
+    }
+}

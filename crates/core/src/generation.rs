@@ -1,0 +1,275 @@
+//! Charging bundle generation (the OBG problem, Section IV).
+//!
+//! Three generators, matching the comparison of Fig. 11:
+//!
+//! * [`BundleStrategy::Greedy`] — the paper's Algorithm 2: build the
+//!   candidate family, then greedily select the candidate covering the
+//!   most uncovered sensors (`ln n + 1` approximation, Theorem 2).
+//! * [`BundleStrategy::Grid`] — the baseline from He et al.: partition
+//!   the field into square cells of side `r * sqrt(2)` (so every cell
+//!   fits in a radius-`r` disk) and make each non-empty cell a bundle.
+//! * [`BundleStrategy::Optimal`] — exact minimum cover by branch and
+//!   bound over the pair-intersection candidate family; falls back to
+//!   greedy if the search exceeds its node budget.
+
+use bc_setcover::{exact_cover, greedy_cover, BitSet, Instance};
+use bc_wsn::Network;
+
+use crate::{Candidate, CandidateFamily, ChargingBundle};
+
+/// Which bundle generator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BundleStrategy {
+    /// Greedy max-coverage selection (Algorithm 2).
+    Greedy,
+    /// Fixed grid partition with cell side `r * sqrt(2)`.
+    Grid,
+    /// Exact minimum cover (branch and bound; falls back to greedy on
+    /// budget exhaustion).
+    Optimal,
+}
+
+/// Generates a bundle family covering every sensor with bundles of radius
+/// at most `r`.
+///
+/// Every sensor is assigned to exactly one bundle (the one that first
+/// covered it), and each bundle's anchor is recentred to the smallest
+/// enclosing disk of its *assigned* members, so `enclosing_radius <= r`
+/// always holds on the output.
+///
+/// Returns an empty vector for an empty network.
+///
+/// # Panics
+///
+/// Panics if `r` is not positive and finite.
+pub fn generate_bundles(net: &Network, r: f64, strategy: BundleStrategy) -> Vec<ChargingBundle> {
+    assert!(r.is_finite() && r > 0.0, "bundle radius must be positive");
+    if net.is_empty() {
+        return Vec::new();
+    }
+    match strategy {
+        BundleStrategy::Greedy => from_cover(net, &CandidateFamily::pair_intersection(net, r), CoverKind::Greedy),
+        BundleStrategy::Optimal => from_cover(net, &CandidateFamily::pair_intersection(net, r), CoverKind::Exact),
+        BundleStrategy::Grid => grid_bundles(net, r),
+    }
+}
+
+enum CoverKind {
+    Greedy,
+    Exact,
+}
+
+/// Runs set cover over a candidate family and materialises the selected
+/// candidates as disjoint bundles.
+fn from_cover(net: &Network, family: &CandidateFamily, kind: CoverKind) -> Vec<ChargingBundle> {
+    let n = net.len();
+    let sets: Vec<BitSet> = family.candidates.iter().map(|c| c.members.clone()).collect();
+    let inst = Instance::new(n, sets)
+        .expect("candidate families always cover the network (each sensor is its own anchor)");
+    let selected = match kind {
+        CoverKind::Greedy => greedy_cover(&inst),
+        CoverKind::Exact => exact_cover(&inst, Some(5_000_000)).unwrap_or_else(|| greedy_cover(&inst)),
+    };
+    materialise(net, family, &selected)
+}
+
+/// Turns selected candidates into disjoint bundles: each sensor joins the
+/// first selected candidate containing it; anchors are recentred on the
+/// assigned members.
+fn materialise(net: &Network, family: &CandidateFamily, selected: &[usize]) -> Vec<ChargingBundle> {
+    let n = net.len();
+    let mut assigned = vec![false; n];
+    let mut bundles = Vec::with_capacity(selected.len());
+    for &ci in selected {
+        let cand: &Candidate = &family.candidates[ci];
+        let members: Vec<usize> = cand.members.iter().filter(|&s| !assigned[s]).collect();
+        if members.is_empty() {
+            continue;
+        }
+        for &s in &members {
+            assigned[s] = true;
+        }
+        bundles.push(ChargingBundle::from_members(members, net));
+    }
+    debug_assert!(assigned.iter().all(|&a| a), "cover left a sensor unassigned");
+    bundles
+}
+
+/// Grid-based baseline: cells of side `r * sqrt(2)` anchored at the field
+/// origin; every non-empty cell becomes one bundle. The anchor is the
+/// smallest-enclosing-disk center of the cell's sensors (which is always
+/// feasible since the whole cell fits in a radius-`r` disk).
+fn grid_bundles(net: &Network, r: f64) -> Vec<ChargingBundle> {
+    let side = r * std::f64::consts::SQRT_2;
+    let field = net.field();
+    let mut cells: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, p) in net.positions().iter().enumerate() {
+        let kx = ((p.x - field.min.x) / side).floor() as i64;
+        let ky = ((p.y - field.min.y) / side).floor() as i64;
+        cells.entry((kx, ky)).or_default().push(i);
+    }
+    let mut keys: Vec<(i64, i64)> = cells.keys().copied().collect();
+    keys.sort_unstable(); // deterministic output order
+    keys.into_iter()
+        .map(|k| ChargingBundle::from_members(cells.remove(&k).unwrap(), net))
+        .collect()
+}
+
+/// A lower bound on the number of radius-`r` bundles any cover needs:
+/// the size of a greedy packing of sensors pairwise more than `2r`
+/// apart. Two such sensors can never share a disk of radius `r`, so
+/// every cover uses at least one bundle per packed sensor.
+///
+/// Used to certify the exact generator's optimality in tests and to
+/// bound the greedy generator's gap without running the exact search.
+pub fn packing_lower_bound(net: &Network, r: f64) -> usize {
+    assert!(r.is_finite() && r > 0.0, "bundle radius must be positive");
+    let mut excluded = vec![false; net.len()];
+    let mut count = 0usize;
+    for i in 0..net.len() {
+        if excluded[i] {
+            continue;
+        }
+        count += 1;
+        for j in net.within_radius(net.sensor(i).pos, 2.0 * r) {
+            excluded[j] = true;
+        }
+    }
+    count
+}
+
+/// Checks that a bundle family is a partition of the network's sensors
+/// with every bundle radius at most `r`. Used by tests and debug
+/// assertions.
+pub fn is_valid_partition(bundles: &[ChargingBundle], net: &Network, r: f64) -> bool {
+    let mut seen = vec![false; net.len()];
+    for b in bundles {
+        if b.is_empty() || b.enclosing_radius > r + 1e-6 {
+            return false;
+        }
+        for &s in &b.sensors {
+            if s >= net.len() || seen[s] {
+                return false;
+            }
+            seen[s] = true;
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    #[test]
+    fn greedy_produces_valid_partition() {
+        let net = deploy::uniform(80, Aabb::square(500.0), 2.0, 21);
+        let bundles = generate_bundles(&net, 40.0, BundleStrategy::Greedy);
+        assert!(is_valid_partition(&bundles, &net, 40.0));
+    }
+
+    #[test]
+    fn grid_produces_valid_partition() {
+        let net = deploy::uniform(80, Aabb::square(500.0), 2.0, 21);
+        let bundles = generate_bundles(&net, 40.0, BundleStrategy::Grid);
+        assert!(is_valid_partition(&bundles, &net, 40.0));
+    }
+
+    #[test]
+    fn optimal_produces_valid_partition_and_fewest_bundles() {
+        let net = deploy::uniform(25, Aabb::square(200.0), 2.0, 4);
+        let r = 40.0;
+        let greedy = generate_bundles(&net, r, BundleStrategy::Greedy);
+        let grid = generate_bundles(&net, r, BundleStrategy::Grid);
+        let optimal = generate_bundles(&net, r, BundleStrategy::Optimal);
+        assert!(is_valid_partition(&optimal, &net, r));
+        assert!(optimal.len() <= greedy.len());
+        assert!(optimal.len() <= grid.len());
+    }
+
+    #[test]
+    fn greedy_within_ln_n_of_optimal() {
+        let net = deploy::uniform(30, Aabb::square(300.0), 2.0, 13);
+        let r = 50.0;
+        let greedy = generate_bundles(&net, r, BundleStrategy::Greedy).len() as f64;
+        let optimal = generate_bundles(&net, r, BundleStrategy::Optimal).len() as f64;
+        let bound = (30f64).ln() + 1.0;
+        assert!(greedy <= bound * optimal + 1e-9);
+    }
+
+    #[test]
+    fn tiny_radius_gives_singletons() {
+        let net = deploy::uniform(20, Aabb::square(1000.0), 2.0, 2);
+        let bundles = generate_bundles(&net, 0.5, BundleStrategy::Greedy);
+        // At radius 0.5 m in a 1 km field, every sensor is its own bundle
+        // (with overwhelming probability under this seed).
+        assert_eq!(bundles.len(), 20);
+        assert!(bundles.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn huge_radius_gives_one_bundle() {
+        let net = deploy::uniform(15, Aabb::square(100.0), 2.0, 7);
+        let bundles = generate_bundles(&net, 200.0, BundleStrategy::Greedy);
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 15);
+    }
+
+    #[test]
+    fn larger_radius_never_needs_more_greedy_bundles() {
+        let net = deploy::uniform(60, Aabb::square(400.0), 2.0, 17);
+        let small = generate_bundles(&net, 20.0, BundleStrategy::Greedy).len();
+        let large = generate_bundles(&net, 60.0, BundleStrategy::Greedy).len();
+        assert!(large <= small);
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
+        for s in [BundleStrategy::Greedy, BundleStrategy::Grid, BundleStrategy::Optimal] {
+            assert!(generate_bundles(&net, 5.0, s).is_empty());
+        }
+    }
+
+    #[test]
+    fn packing_bound_sandwiches_the_optimum() {
+        for seed in [1u64, 5, 9] {
+            let net = deploy::uniform(25, Aabb::square(250.0), 2.0, seed);
+            for r in [20.0, 40.0, 80.0] {
+                let lb = packing_lower_bound(&net, r);
+                let optimal = generate_bundles(&net, r, BundleStrategy::Optimal).len();
+                let greedy = generate_bundles(&net, r, BundleStrategy::Greedy).len();
+                assert!(lb <= optimal, "seed {seed} r {r}: lb {lb} > opt {optimal}");
+                assert!(optimal <= greedy);
+            }
+        }
+    }
+
+    #[test]
+    fn packing_bound_tight_for_far_apart_sensors() {
+        // Sensors > 2r apart: the packing bound equals n, and so does
+        // every cover.
+        let net = deploy::from_coords(
+            &[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)],
+            Aabb::square(100.0),
+            2.0,
+        );
+        assert_eq!(packing_lower_bound(&net, 10.0), 4);
+        assert_eq!(generate_bundles(&net, 10.0, BundleStrategy::Greedy).len(), 4);
+    }
+
+    #[test]
+    fn grid_cells_respect_radius_even_at_boundaries() {
+        // Sensors on the exact corners of grid cells.
+        let net = deploy::from_coords(
+            &[(0.0, 0.0), (14.1, 14.1), (14.2, 14.2), (28.3, 0.1)],
+            Aabb::square(100.0),
+            2.0,
+        );
+        let bundles = generate_bundles(&net, 10.0, BundleStrategy::Grid);
+        assert!(is_valid_partition(&bundles, &net, 10.0));
+    }
+}

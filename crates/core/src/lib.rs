@@ -1,0 +1,61 @@
+//! Bundle charging: the primary contribution of the ICDCS 2019 paper.
+//!
+//! A mobile charger must deliver at least `delta` joules to every sensor
+//! of a dense network while minimizing its *operating energy* — movement
+//! cost along the tour plus charging-mode cost while parked. Because
+//! wireless charging is one-to-many, nearby sensors can be grouped into a
+//! **charging bundle** served from a single *anchor point*.
+//!
+//! The crate solves the paper's two sub-problems:
+//!
+//! 1. **Optimal Bundle Generation (OBG)** — [`generation`] produces a
+//!    minimum-cardinality family of radius-`r` bundles covering all
+//!    sensors, with the paper's greedy Algorithm 2 (`ln n + 1`
+//!    approximation), a grid baseline, and an exact branch-and-bound
+//!    optimum.
+//! 2. **Bundle Trajectory Optimization (BTO)** — [`planner`] turns a
+//!    bundle family into a charging tour. Four planners are provided:
+//!    [`planner::single_charging`] (SC), [`planner::css`]
+//!    (Combine–Skip–Substitute), [`planner::bundle_charging`] (BC) and
+//!    [`planner::bundle_charging_opt`] (BC-OPT, Algorithm 3 with the
+//!    Theorem 4/5 tangency search).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bc_core::{PlannerConfig, planner};
+//! use bc_wsn::deploy;
+//! use bc_geom::Aabb;
+//!
+//! let net = deploy::uniform(40, Aabb::square(1000.0), 2.0, 1);
+//! let cfg = PlannerConfig::paper_sim(10.0);
+//! let plan = planner::bundle_charging_opt(&net, &cfg);
+//! assert!(plan.validate(&net, &cfg.charging).is_ok());
+//! let m = plan.metrics(&cfg.energy);
+//! assert!(m.total_energy_j > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod candidates;
+pub mod config;
+pub mod generation;
+pub mod multi;
+pub mod plan;
+pub mod planner;
+pub mod replan;
+pub mod sortie;
+pub mod terrain;
+pub mod tighten;
+
+pub use bundle::ChargingBundle;
+pub use candidates::{Candidate, CandidateFamily};
+pub use config::{DwellPolicy, PlannerConfig};
+pub use generation::{generate_bundles, BundleStrategy};
+pub use multi::{plan_fleet, MultiChargerPlan};
+pub use plan::{ChargingPlan, Metrics, PlanError, Stop};
+pub use replan::{add_sensor, remove_sensor};
+pub use sortie::{split_into_sorties, Sortie, SortieError, SortiePlan};
+pub use terrain::{plan_with_terrain, Terrain, TerrainRoute};
+pub use tighten::{tighten_dwells, validate_cross_credit, TightenReport};

@@ -1,0 +1,342 @@
+//! Charging plans: ordered stops, energy accounting and validation.
+
+use std::fmt;
+
+use bc_geom::Point;
+use bc_wpt::{ChargingModel, EnergyModel};
+use bc_wsn::Network;
+
+use crate::ChargingBundle;
+
+/// One stop of the charging tour: the charger parks at
+/// `bundle.anchor` and transmits for `dwell` seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stop {
+    /// The bundle served at this stop. A zero-dwell marker stop (e.g. the
+    /// base station) is represented by an empty member list.
+    pub bundle: ChargingBundle,
+    /// Dwell time in seconds.
+    pub dwell: f64,
+}
+
+impl Stop {
+    /// Creates a stop for a bundle, computing the dwell time that fully
+    /// charges every member (the per-bundle worst case of the paper).
+    pub fn for_bundle(bundle: ChargingBundle, net: &Network, model: &ChargingModel) -> Self {
+        let dwell = bundle.dwell_time(net, model);
+        Stop { bundle, dwell }
+    }
+
+    /// A zero-dwell way-point (used for the base station when the tour is
+    /// configured to include it).
+    pub fn waypoint(p: Point) -> Self {
+        Stop {
+            bundle: ChargingBundle {
+                sensors: Vec::new(),
+                anchor: p,
+                enclosing_radius: 0.0,
+            },
+            dwell: 0.0,
+        }
+    }
+
+    /// Position of the stop.
+    pub fn anchor(&self) -> Point {
+        self.bundle.anchor
+    }
+}
+
+/// A complete closed charging tour.
+///
+/// Stops are listed in visit order; the charger returns from the last
+/// stop to the first. Every planner produces one of these, and all
+/// metrics in the evaluation are derived from it via
+/// [`ChargingPlan::metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargingPlan {
+    /// Stops in visit order.
+    pub stops: Vec<Stop>,
+    /// Number of sensors the plan serves (for per-sensor averages).
+    pub num_sensors: usize,
+}
+
+/// Scalar summary of a plan under an energy model — the quantities
+/// plotted in Figs. 6 and 12–16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Number of charging stops (bundles).
+    pub num_stops: usize,
+    /// Closed tour length (m).
+    pub tour_length_m: f64,
+    /// Total charging (dwell) time (s).
+    pub charge_time_s: f64,
+    /// Movement energy (J).
+    pub move_energy_j: f64,
+    /// Charging energy (J).
+    pub charge_energy_j: f64,
+    /// Total operating energy (J) — the BTO objective.
+    pub total_energy_j: f64,
+    /// Total charging time divided by the number of sensors (s).
+    pub avg_charge_time_per_sensor_s: f64,
+}
+
+/// A plan failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Some sensor is not assigned to any stop.
+    Unassigned {
+        /// Index of the first unassigned sensor.
+        sensor: usize,
+    },
+    /// A sensor is assigned to more than one stop.
+    DuplicateAssignment {
+        /// The offending sensor.
+        sensor: usize,
+    },
+    /// A stop's dwell time undercharges its worst member.
+    Undercharged {
+        /// Index of the stop in visit order.
+        stop: usize,
+        /// The undercharged sensor.
+        sensor: usize,
+        /// Energy actually delivered (J).
+        delivered: f64,
+        /// Energy demanded (J).
+        demanded: f64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unassigned { sensor } => {
+                write!(f, "sensor {sensor} is not served by any stop")
+            }
+            PlanError::DuplicateAssignment { sensor } => {
+                write!(f, "sensor {sensor} is assigned to multiple stops")
+            }
+            PlanError::Undercharged {
+                stop,
+                sensor,
+                delivered,
+                demanded,
+            } => write!(
+                f,
+                "stop {stop} delivers {delivered:.6} J to sensor {sensor}, below demand {demanded:.6} J"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl ChargingPlan {
+    /// Builds a plan from ordered stops.
+    pub fn new(stops: Vec<Stop>, num_sensors: usize) -> Self {
+        ChargingPlan { stops, num_sensors }
+    }
+
+    /// Number of stops with a non-empty bundle.
+    pub fn num_charging_stops(&self) -> usize {
+        self.stops.iter().filter(|s| !s.bundle.is_empty()).count()
+    }
+
+    /// Length of the closed tour through the stops (m).
+    pub fn tour_length(&self) -> f64 {
+        let n = self.stops.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..n {
+            total += self.stops[i]
+                .anchor()
+                .distance(self.stops[(i + 1) % n].anchor());
+        }
+        total
+    }
+
+    /// Total dwell time across all stops (s).
+    pub fn total_dwell(&self) -> f64 {
+        self.stops.iter().map(|s| s.dwell).sum()
+    }
+
+    /// Computes the scalar metrics of the plan under an energy model.
+    pub fn metrics(&self, energy: &EnergyModel) -> Metrics {
+        let tour = self.tour_length();
+        let dwell = self.total_dwell();
+        let move_energy = energy.movement_energy(tour);
+        let charge_energy = energy.charging_energy(dwell);
+        Metrics {
+            num_stops: self.num_charging_stops(),
+            tour_length_m: tour,
+            charge_time_s: dwell,
+            move_energy_j: move_energy,
+            charge_energy_j: charge_energy,
+            total_energy_j: move_energy + charge_energy,
+            avg_charge_time_per_sensor_s: if self.num_sensors == 0 {
+                0.0
+            } else {
+                dwell / self.num_sensors as f64
+            },
+        }
+    }
+
+    /// Validates the plan against its network: every sensor is served by
+    /// exactly one stop, and every stop's dwell time delivers at least
+    /// the demanded energy to each of its members.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] found.
+    pub fn validate(&self, net: &Network, model: &ChargingModel) -> Result<(), PlanError> {
+        let mut assigned = vec![false; net.len()];
+        for (si, stop) in self.stops.iter().enumerate() {
+            for &s in &stop.bundle.sensors {
+                if assigned[s] {
+                    return Err(PlanError::DuplicateAssignment { sensor: s });
+                }
+                assigned[s] = true;
+                let d = stop.bundle.member_distance(s, net);
+                let delivered = model.delivered_energy(d, stop.dwell);
+                let demanded = net.sensor(s).demand;
+                if delivered + 1e-9 < demanded {
+                    return Err(PlanError::Undercharged {
+                        stop: si,
+                        sensor: s,
+                        delivered,
+                        demanded,
+                    });
+                }
+            }
+        }
+        if let Some(sensor) = assigned.iter().position(|&a| !a) {
+            return Err(PlanError::Unassigned { sensor });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ChargingPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ChargingPlan({} stops, tour {:.1} m, dwell {:.1} s)",
+            self.num_charging_stops(),
+            self.tour_length(),
+            self.total_dwell()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    fn make_plan(net: &Network, model: &ChargingModel) -> ChargingPlan {
+        // One singleton stop per sensor, in index order.
+        let stops = (0..net.len())
+            .map(|i| {
+                Stop::for_bundle(
+                    ChargingBundle::from_members(vec![i], net),
+                    net,
+                    model,
+                )
+            })
+            .collect();
+        ChargingPlan::new(stops, net.len())
+    }
+
+    #[test]
+    fn valid_singleton_plan() {
+        let net = deploy::uniform(10, Aabb::square(100.0), 2.0, 1);
+        let model = ChargingModel::paper_sim();
+        let plan = make_plan(&net, &model);
+        assert!(plan.validate(&net, &model).is_ok());
+        assert_eq!(plan.num_charging_stops(), 10);
+    }
+
+    #[test]
+    fn metrics_add_up() {
+        let net = deploy::uniform(5, Aabb::square(100.0), 2.0, 2);
+        let model = ChargingModel::paper_sim();
+        let energy = EnergyModel::new(2.0, 3.0);
+        let plan = make_plan(&net, &model);
+        let m = plan.metrics(&energy);
+        assert!((m.total_energy_j - m.move_energy_j - m.charge_energy_j).abs() < 1e-9);
+        assert!((m.move_energy_j - 2.0 * m.tour_length_m).abs() < 1e-9);
+        assert!((m.charge_energy_j - 3.0 * m.charge_time_s).abs() < 1e-9);
+        assert!((m.avg_charge_time_per_sensor_s - m.charge_time_s / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_unassigned() {
+        let net = deploy::uniform(3, Aabb::square(100.0), 2.0, 3);
+        let model = ChargingModel::paper_sim();
+        let mut plan = make_plan(&net, &model);
+        plan.stops.pop();
+        assert!(matches!(
+            plan.validate(&net, &model),
+            Err(PlanError::Unassigned { sensor: 2 })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_assignment() {
+        let net = deploy::uniform(3, Aabb::square(100.0), 2.0, 3);
+        let model = ChargingModel::paper_sim();
+        let mut plan = make_plan(&net, &model);
+        let dup = plan.stops[0].clone();
+        plan.stops.push(dup);
+        assert!(matches!(
+            plan.validate(&net, &model),
+            Err(PlanError::DuplicateAssignment { sensor: 0 })
+        ));
+    }
+
+    #[test]
+    fn detects_undercharge() {
+        let net = deploy::uniform(2, Aabb::square(100.0), 2.0, 4);
+        let model = ChargingModel::paper_sim();
+        let mut plan = make_plan(&net, &model);
+        plan.stops[0].dwell *= 0.5;
+        let err = plan.validate(&net, &model).unwrap_err();
+        assert!(matches!(err, PlanError::Undercharged { stop: 0, .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn tour_length_closed_cycle() {
+        let net = deploy::from_coords(
+            &[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)],
+            Aabb::square(20.0),
+            2.0,
+        );
+        let model = ChargingModel::paper_sim();
+        let plan = make_plan(&net, &model);
+        // 10 + 10 + sqrt(200)
+        assert!((plan.tour_length() - (20.0 + 200f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = ChargingPlan::new(Vec::new(), 0);
+        assert_eq!(plan.tour_length(), 0.0);
+        assert_eq!(plan.total_dwell(), 0.0);
+        let m = plan.metrics(&EnergyModel::paper_sim());
+        assert_eq!(m.total_energy_j, 0.0);
+        assert_eq!(m.avg_charge_time_per_sensor_s, 0.0);
+    }
+
+    #[test]
+    fn waypoint_stops_do_not_count_as_charging() {
+        let net = deploy::uniform(2, Aabb::square(100.0), 2.0, 5);
+        let model = ChargingModel::paper_sim();
+        let mut plan = make_plan(&net, &model);
+        plan.stops.push(Stop::waypoint(Point::ORIGIN));
+        assert_eq!(plan.num_charging_stops(), 2);
+        assert!(plan.validate(&net, &model).is_ok());
+    }
+}

@@ -1,0 +1,264 @@
+//! Bundle Charging with tour optimization (BC-OPT, Algorithm 3).
+//!
+//! Starting from the BC plan, every anchor `C_i` is iteratively relocated
+//! toward the chord between its tour neighbours `C_{i-1}` and `C_{i+1}`.
+//! For each candidate displacement radius `d` (Algorithm 3's
+//! `for d = 0 : max` loop), the best relocated position on the circle
+//! `|P - C_i| = d` is the ellipse tangency point of Theorem 4, located by
+//! the logarithmic search that Theorem 5's bisector property enables
+//! (implemented in [`bc_geom::tangency`]).
+//!
+//! A relocation is accepted only when it lowers the *total* operating
+//! energy: the movement saved on the two adjacent tour legs must exceed
+//! the extra charging energy caused by the now-longer worst charging
+//! distance (the Eq. 7–8 trade-off, evaluated exactly rather than through
+//! the paper's first-order approximation).
+
+use bc_geom::{tangency, Disk, Point, Segment};
+use bc_wsn::Network;
+
+use crate::planner::{bundle_charging, order_into_plan};
+use crate::{generate_bundles, ChargingBundle, ChargingPlan, PlannerConfig, Stop};
+
+/// Runs BC and then optimises the tour with Algorithm 3.
+pub fn bundle_charging_opt(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
+    let mut plan = bundle_charging(net, cfg);
+    optimize_tour(&mut plan, net, cfg);
+    plan
+}
+
+/// Applies the Algorithm 3 anchor-relocation sweeps to an existing plan,
+/// in place. Exposed separately so ablations can start from any initial
+/// plan (e.g. grid bundles, or an unimproved TSP order).
+pub fn optimize_tour(plan: &mut ChargingPlan, net: &Network, cfg: &PlannerConfig) {
+    let n = plan.stops.len();
+    if n < 2 {
+        return;
+    }
+    // The relocation circles stay centred on each bundle's original
+    // (smallest-enclosing-disk) center, per Theorem 4.
+    let centers: Vec<Point> = plan
+        .stops
+        .iter()
+        .map(|s| {
+            if s.bundle.is_empty() {
+                s.anchor()
+            } else {
+                let pts: Vec<Point> =
+                    s.bundle.sensors.iter().map(|&i| net.sensor(i).pos).collect();
+                bc_geom::sed::smallest_enclosing_disk(&pts).center
+            }
+        })
+        .collect();
+
+    for _round in 0..cfg.opt_max_rounds {
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // i indexes stops, centers and cyclic neighbours
+        for i in 0..n {
+            if plan.stops[i].bundle.is_empty() {
+                continue; // never move the base way-point
+            }
+            let prev = plan.stops[(i + n - 1) % n].anchor();
+            let next = plan.stops[(i + 1) % n].anchor();
+            if let Some((anchor, _gain)) =
+                best_relocation(&plan.stops[i], centers[i], prev, next, net, cfg)
+            {
+                let members = plan.stops[i].bundle.sensors.clone();
+                let bundle = ChargingBundle::with_anchor(members, anchor, net);
+                plan.stops[i] = Stop::for_bundle(bundle, net, &cfg.charging);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Evaluates the `d`-sweep for one stop and returns the best relocated
+/// anchor with its energy gain, or `None` when no relocation beats the
+/// current position.
+fn best_relocation(
+    stop: &Stop,
+    center: Point,
+    prev: Point,
+    next: Point,
+    net: &Network,
+    cfg: &PlannerConfig,
+) -> Option<(Point, f64)> {
+    let energy = &cfg.energy;
+    let current_cost = energy.movement_energy(prev.distance(stop.anchor()) + stop.anchor().distance(next))
+        + energy.charging_energy(stop.dwell);
+
+    // Sweeping past the chord between the neighbours can never help: the
+    // movement term is already minimal at the chord's closest approach.
+    let d_max = Segment::new(prev, next).distance_to_point(center);
+    if d_max <= bc_geom::EPS {
+        return None;
+    }
+    let steps = cfg.opt_distance_steps.max(1);
+    let mut best: Option<(Point, f64)> = None;
+    for k in 1..=steps {
+        let d = d_max * k as f64 / steps as f64;
+        let t = tangency::min_focal_sum_on_circle(prev, next, &Disk::new(center, d));
+        let bundle = ChargingBundle::with_anchor(stop.bundle.sensors.clone(), t.point, net);
+        let dwell = bundle.dwell_time(net, &cfg.charging);
+        let cost = energy.movement_energy(t.focal_sum) + energy.charging_energy(dwell);
+        let gain = current_cost - cost;
+        if gain > 1e-9 && best.as_ref().is_none_or(|&(_, g)| gain > g) {
+            best = Some((t.point, gain));
+        }
+    }
+    best
+}
+
+/// BC-OPT with an outer loop that re-solves the visiting order after the
+/// anchors move (Algorithm 3 keeps the initial TSP order; relocated
+/// anchors can make a different order cheaper). Alternates TSP-reorder
+/// and anchor-relocation until the energy stops improving or
+/// `max_outer_rounds` is hit.
+///
+/// Never worse than [`bundle_charging_opt`]: the first iteration *is*
+/// BC-OPT, and further iterations are only accepted on improvement.
+pub fn bundle_charging_opt_iterated(
+    net: &Network,
+    cfg: &PlannerConfig,
+    max_outer_rounds: usize,
+) -> ChargingPlan {
+    let mut best = bundle_charging_opt(net, cfg);
+    let mut best_energy = energy_of(&best, cfg);
+    for _ in 0..max_outer_rounds {
+        // Re-solve the order over the current (possibly relocated)
+        // anchors, then re-run the relocation sweeps.
+        let stops = best.stops.clone();
+        let mut candidate = order_into_plan(stops, net, &cfg.tsp, false);
+        optimize_tour(&mut candidate, net, cfg);
+        let e = energy_of(&candidate, cfg);
+        if e + 1e-9 < best_energy {
+            best = candidate;
+            best_energy = e;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn energy_of(plan: &ChargingPlan, cfg: &PlannerConfig) -> f64 {
+    plan.metrics(&cfg.energy).total_energy_j
+}
+
+/// Ablation entry point: BC-OPT with grid bundles instead of greedy, used
+/// by the benchmark suite to isolate the contribution of Algorithm 2.
+pub fn bundle_charging_opt_with_strategy(
+    net: &Network,
+    cfg: &PlannerConfig,
+    strategy: crate::BundleStrategy,
+) -> ChargingPlan {
+    let bundles = generate_bundles(net, cfg.bundle_radius, strategy);
+    let stops: Vec<Stop> = bundles
+        .into_iter()
+        .map(|b| Stop::for_bundle(b, net, &cfg.charging))
+        .collect();
+    let mut plan = order_into_plan(stops, net, &cfg.tsp, cfg.include_base);
+    optimize_tour(&mut plan, net, cfg);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    #[test]
+    fn never_worse_than_bc() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let net = deploy::uniform(50, Aabb::square(800.0), 2.0, seed);
+            let cfg = PlannerConfig::paper_sim(40.0);
+            let bc = bundle_charging(&net, &cfg);
+            let opt = bundle_charging_opt(&net, &cfg);
+            let e_bc = bc.metrics(&cfg.energy).total_energy_j;
+            let e_opt = opt.metrics(&cfg.energy).total_energy_j;
+            assert!(
+                e_opt <= e_bc + 1e-6,
+                "seed {seed}: BC-OPT {e_opt} worse than BC {e_bc}"
+            );
+        }
+    }
+
+    #[test]
+    fn stays_feasible_after_optimization() {
+        let net = deploy::uniform(60, Aabb::square(600.0), 2.0, 23);
+        let cfg = PlannerConfig::paper_sim(50.0);
+        let plan = bundle_charging_opt(&net, &cfg);
+        assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+
+    #[test]
+    fn relocation_shortens_tour_at_cost_of_dwell() {
+        // Three far-apart bundles in a wide triangle: the middle one
+        // should slide toward the chord.
+        let net = deploy::from_coords(
+            &[(0.0, 0.0), (500.0, 300.0), (1000.0, 0.0)],
+            Aabb::square(1000.0),
+            2.0,
+        );
+        let cfg = PlannerConfig::paper_sim(10.0);
+        let bc = bundle_charging(&net, &cfg);
+        let opt = bundle_charging_opt(&net, &cfg);
+        assert!(opt.tour_length() < bc.tour_length() - 1.0);
+        assert!(opt.total_dwell() > bc.total_dwell());
+        assert!(plan_energy(&opt, &cfg) < plan_energy(&bc, &cfg));
+        assert!(opt.validate(&net, &cfg.charging).is_ok());
+    }
+
+    fn plan_energy(plan: &ChargingPlan, cfg: &PlannerConfig) -> f64 {
+        plan.metrics(&cfg.energy).total_energy_j
+    }
+
+    #[test]
+    fn two_stop_case_moves_anchors_together() {
+        // The Section V-B two-bundle discussion: with expensive movement,
+        // both anchors slide toward each other.
+        let net = deploy::from_coords(&[(0.0, 0.0), (400.0, 0.0)], Aabb::square(1000.0), 2.0);
+        let cfg = PlannerConfig::paper_sim(10.0);
+        let bc = bundle_charging(&net, &cfg);
+        let opt = bundle_charging_opt(&net, &cfg);
+        assert!(opt.tour_length() < bc.tour_length());
+        assert!(plan_energy(&opt, &cfg) < plan_energy(&bc, &cfg));
+    }
+
+    #[test]
+    fn single_stop_is_untouched() {
+        let net = deploy::from_coords(&[(10.0, 10.0), (12.0, 10.0)], Aabb::square(100.0), 2.0);
+        let cfg = PlannerConfig::paper_sim(20.0);
+        let plan = bundle_charging_opt(&net, &cfg);
+        assert_eq!(plan.num_charging_stops(), 1);
+        assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+
+    #[test]
+    fn iterated_variant_never_worse() {
+        for seed in [3u64, 7, 11] {
+            let net = deploy::uniform(45, Aabb::square(500.0), 2.0, seed);
+            let cfg = PlannerConfig::paper_sim(35.0);
+            let base = bundle_charging_opt(&net, &cfg);
+            let iter = bundle_charging_opt_iterated(&net, &cfg, 4);
+            assert!(iter.validate(&net, &cfg.charging).is_ok());
+            assert!(
+                plan_energy(&iter, &cfg) <= plan_energy(&base, &cfg) + 1e-6,
+                "seed {seed}: iterated worse than plain BC-OPT"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_ablation_runs() {
+        let net = deploy::uniform(30, Aabb::square(400.0), 2.0, 3);
+        let cfg = PlannerConfig::paper_sim(30.0);
+        let plan =
+            bundle_charging_opt_with_strategy(&net, &cfg, crate::BundleStrategy::Grid);
+        assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+}

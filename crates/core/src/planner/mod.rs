@@ -1,0 +1,176 @@
+//! Charging-tour planners: SC, CSS, BC and BC-OPT.
+//!
+//! All planners share the same contract: they take a [`Network`] and a
+//! [`PlannerConfig`] and return a validated-by-construction
+//! [`ChargingPlan`] whose stops fully charge every sensor. The four
+//! algorithms mirror the comparison of Section VI-B:
+//!
+//! * [`single_charging`] (SC) — TSP over every sensor, charging each at
+//!   zero distance (Shi et al., INFOCOM'11, adapted);
+//! * [`css`] — Combine–Skip–Substitute (He et al., TMC'13): merges
+//!   tour-adjacent sensors into shared stops and substitutes stop
+//!   locations to shorten the tour, but never trades movement for
+//!   charging time;
+//! * [`bundle_charging`] (BC) — greedy bundle generation (Algorithm 2) +
+//!   TSP over anchor points;
+//! * [`bundle_charging_opt`] (BC-OPT) — BC followed by the Algorithm 3
+//!   anchor relocation driven by the Theorem 4/5 tangency search.
+
+mod bc;
+mod bc_opt;
+mod css;
+mod sc;
+
+pub use bc::bundle_charging;
+pub use bc_opt::{
+    bundle_charging_opt, bundle_charging_opt_iterated, bundle_charging_opt_with_strategy,
+    optimize_tour,
+};
+pub use css::css;
+pub use sc::single_charging;
+
+use bc_geom::Point;
+use bc_tsp::{solve, SolveConfig};
+use bc_wsn::Network;
+
+use crate::{ChargingPlan, PlannerConfig, Stop};
+
+/// Orders a bag of stops into a closed tour with the TSP pipeline,
+/// optionally prepending the network's base station as a zero-dwell
+/// way-point, and returns the finished plan.
+pub(crate) fn order_into_plan(
+    mut stops: Vec<Stop>,
+    net: &Network,
+    tsp: &SolveConfig,
+    include_base: bool,
+) -> ChargingPlan {
+    if include_base {
+        stops.push(Stop::waypoint(net.base()));
+    }
+    let anchors: Vec<Point> = stops.iter().map(Stop::anchor).collect();
+    let tour = solve(&anchors, tsp);
+    let mut ordered: Vec<Stop> = Vec::with_capacity(stops.len());
+    let mut slots: Vec<Option<Stop>> = stops.into_iter().map(Some).collect();
+    for &i in &tour.order {
+        ordered.push(slots[i].take().expect("tour visits each stop once"));
+    }
+    // Start the tour at the base way-point when present, for readability.
+    if include_base {
+        if let Some(pos) = ordered.iter().position(|s| s.bundle.is_empty()) {
+            ordered.rotate_left(pos);
+        }
+    }
+    ChargingPlan::new(ordered, net.len())
+}
+
+/// Convenience dispatcher running the planner named by `algo`.
+///
+/// # Example
+///
+/// ```
+/// use bc_core::planner::{run, Algorithm};
+/// use bc_core::PlannerConfig;
+/// use bc_wsn::deploy;
+/// use bc_geom::Aabb;
+///
+/// let net = deploy::uniform(30, Aabb::square(500.0), 2.0, 3);
+/// let cfg = PlannerConfig::paper_sim(30.0);
+/// for algo in Algorithm::ALL {
+///     let plan = run(algo, &net, &cfg);
+///     assert!(plan.validate(&net, &cfg.charging).is_ok());
+/// }
+/// ```
+pub fn run(algo: Algorithm, net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
+    match algo {
+        Algorithm::Sc => single_charging(net, cfg),
+        Algorithm::Css => css(net, cfg),
+        Algorithm::Bc => bundle_charging(net, cfg),
+        Algorithm::BcOpt => bundle_charging_opt(net, cfg),
+    }
+}
+
+/// The four compared algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Single Charging: one stop per sensor.
+    Sc,
+    /// Combine–Skip–Substitute.
+    Css,
+    /// Bundle Charging.
+    Bc,
+    /// Bundle Charging with tour optimization.
+    BcOpt,
+}
+
+impl Algorithm {
+    /// All algorithms in the order the paper plots them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Sc,
+        Algorithm::Css,
+        Algorithm::Bc,
+        Algorithm::BcOpt,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sc => "SC",
+            Algorithm::Css => "CSS",
+            Algorithm::Bc => "BC",
+            Algorithm::BcOpt => "BC-OPT",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    #[test]
+    fn dispatcher_names() {
+        assert_eq!(Algorithm::Sc.name(), "SC");
+        assert_eq!(Algorithm::BcOpt.to_string(), "BC-OPT");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    fn all_planners_validate_on_shared_network() {
+        let net = deploy::uniform(40, Aabb::square(600.0), 2.0, 11);
+        let cfg = PlannerConfig::paper_sim(40.0);
+        for algo in Algorithm::ALL {
+            let plan = run(algo, &net, &cfg);
+            plan.validate(&net, &cfg.charging)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+    }
+
+    #[test]
+    fn base_station_waypoint_respected() {
+        let net = deploy::uniform(10, Aabb::square(300.0), 2.0, 2);
+        let mut cfg = PlannerConfig::paper_sim(30.0);
+        cfg.include_base = true;
+        let plan = single_charging(&net, &cfg);
+        assert!(plan.stops[0].bundle.is_empty(), "tour should start at base");
+        assert_eq!(plan.num_charging_stops(), 10);
+        assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+
+    #[test]
+    fn empty_network_yields_empty_plans() {
+        let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
+        let cfg = PlannerConfig::paper_sim(5.0);
+        for algo in Algorithm::ALL {
+            let plan = run(algo, &net, &cfg);
+            assert_eq!(plan.num_charging_stops(), 0);
+            assert!(plan.validate(&net, &cfg.charging).is_ok());
+        }
+    }
+}

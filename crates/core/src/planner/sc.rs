@@ -1,0 +1,61 @@
+//! Single Charging (SC): the sensor-granularity baseline.
+
+use bc_wsn::Network;
+
+use crate::planner::order_into_plan;
+use crate::{ChargingBundle, ChargingPlan, PlannerConfig, Stop};
+
+/// The Single Charging baseline of Shi et al.: one stop directly on top
+/// of every sensor, connected by a TSP tour.
+///
+/// Charging at distance zero is the most efficient possible (shortest
+/// dwell per sensor), but in a dense network the tour is long — the
+/// trade-off bundle charging exploits.
+pub fn single_charging(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
+    let stops: Vec<Stop> = (0..net.len())
+        .map(|i| {
+            Stop::for_bundle(
+                ChargingBundle::from_members(vec![i], net),
+                net,
+                &cfg.charging,
+            )
+        })
+        .collect();
+    order_into_plan(stops, net, &cfg.tsp, cfg.include_base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    #[test]
+    fn one_stop_per_sensor() {
+        let net = deploy::uniform(25, Aabb::square(500.0), 2.0, 6);
+        let cfg = PlannerConfig::paper_sim(10.0);
+        let plan = single_charging(&net, &cfg);
+        assert_eq!(plan.num_charging_stops(), 25);
+        assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+
+    #[test]
+    fn dwell_is_zero_distance_charge_time() {
+        let net = deploy::uniform(5, Aabb::square(100.0), 2.0, 7);
+        let cfg = PlannerConfig::paper_sim(10.0);
+        let plan = single_charging(&net, &cfg);
+        let expected = cfg.charging.charge_time(0.0, 2.0);
+        for stop in &plan.stops {
+            assert!((stop.dwell - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sc_total_dwell_is_n_times_contact_time() {
+        let net = deploy::uniform(20, Aabb::square(400.0), 2.0, 8);
+        let cfg = PlannerConfig::paper_sim(30.0);
+        let sc = single_charging(&net, &cfg);
+        let expected = 20.0 * cfg.charging.charge_time(0.0, 2.0);
+        assert!((sc.total_dwell() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Axis-aligned bounding boxes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// An axis-aligned rectangle, used for deployment fields and grid
+/// partitioning.
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::{Aabb, Point};
+///
+/// let field = Aabb::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+/// assert!(field.contains(Point::new(500.0, 250.0)));
+/// assert_eq!(field.area(), 1_000_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Corner with minimum coordinates.
+    pub min: Point,
+    /// Corner with maximum coordinates.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from its two extreme corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min` exceeds `max` on either axis.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "invalid AABB: min {min} exceeds max {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// A square `[0, side] x [0, side]` anchored at the origin, the shape of
+    /// every deployment field in the paper's evaluation.
+    pub fn square(side: f64) -> Self {
+        assert!(side >= 0.0, "side must be non-negative");
+        Aabb::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// The smallest box containing all the given points, or `None` for an
+    /// empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in it {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some(Aabb { min, max })
+    }
+
+    /// Width along the x axis.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the closed box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Length of the diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Clamps `p` into the box.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_field() {
+        let f = Aabb::square(1000.0);
+        assert_eq!(f.width(), 1000.0);
+        assert_eq!(f.height(), 1000.0);
+        assert_eq!(f.center(), Point::new(500.0, 500.0));
+    }
+
+    #[test]
+    fn from_points_bounds() {
+        let b = Aabb::from_points([
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(4.0, 5.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = Aabb::square(10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(!b.contains(Point::new(10.0, 10.1)));
+    }
+
+    #[test]
+    fn clamping() {
+        let b = Aabb::square(10.0);
+        assert_eq!(b.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+        assert_eq!(b.clamp(Point::new(3.0, 4.0)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AABB")]
+    fn inverted_box_panics() {
+        let _ = Aabb::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+}

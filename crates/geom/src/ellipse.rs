@@ -1,0 +1,217 @@
+//! Ellipses in foci form.
+//!
+//! Theorem 4 of the paper characterises the optimal relocated anchor point
+//! as the tangency point between a circle (candidate anchor displacements)
+//! and an ellipse whose foci are the two neighbouring anchor points: the
+//! ellipse is a level set of total travel distance
+//! `|P - C_{i-1}| + |P - C_{i+1}|`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, EPS};
+
+/// An ellipse defined by its two foci and the constant sum of focal
+/// distances (`2a`, twice the semi-major axis).
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::{Ellipse, Point};
+///
+/// let e = Ellipse::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0), 10.0);
+/// assert!((e.semi_major() - 5.0).abs() < 1e-12);
+/// assert!((e.semi_minor() - 4.0).abs() < 1e-12);
+/// assert!(e.contains(Point::new(0.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ellipse {
+    f1: Point,
+    f2: Point,
+    sum: f64,
+}
+
+impl Ellipse {
+    /// Creates an ellipse from its foci and the focal-distance sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sum` is smaller than the focal distance (no such ellipse
+    /// exists) or not finite.
+    pub fn new(f1: Point, f2: Point, sum: f64) -> Self {
+        let focal = f1.distance(f2);
+        assert!(
+            sum.is_finite() && sum + EPS >= focal,
+            "focal-distance sum {sum} smaller than focal distance {focal}"
+        );
+        Ellipse { f1, f2, sum }
+    }
+
+    /// First focus.
+    pub fn focus1(&self) -> Point {
+        self.f1
+    }
+
+    /// Second focus.
+    pub fn focus2(&self) -> Point {
+        self.f2
+    }
+
+    /// The constant sum of distances from any boundary point to the foci.
+    pub fn focal_sum_constant(&self) -> f64 {
+        self.sum
+    }
+
+    /// Center of the ellipse (midpoint of the foci).
+    pub fn center(&self) -> Point {
+        self.f1.midpoint(self.f2)
+    }
+
+    /// Semi-major axis length `a`.
+    pub fn semi_major(&self) -> f64 {
+        self.sum / 2.0
+    }
+
+    /// Linear eccentricity `c` (half the focal distance).
+    pub fn linear_eccentricity(&self) -> f64 {
+        self.f1.distance(self.f2) / 2.0
+    }
+
+    /// Semi-minor axis length `b = sqrt(a^2 - c^2)`.
+    pub fn semi_minor(&self) -> f64 {
+        let a = self.semi_major();
+        let c = self.linear_eccentricity();
+        (a * a - c * c).max(0.0).sqrt()
+    }
+
+    /// Sum of distances from `p` to the two foci (the quantity the ellipse
+    /// levels).
+    pub fn focal_sum(&self, p: Point) -> f64 {
+        p.distance(self.f1) + p.distance(self.f2)
+    }
+
+    /// Whether `p` lies inside or on the ellipse.
+    pub fn contains(&self, p: Point) -> bool {
+        self.focal_sum(p) <= self.sum + EPS
+    }
+
+    /// Whether `p` lies on the boundary (within tolerance `tol`).
+    pub fn on_boundary(&self, p: Point, tol: f64) -> bool {
+        (self.focal_sum(p) - self.sum).abs() <= tol
+    }
+
+    /// Boundary point at parametric angle `theta` (measured in the
+    /// axis-aligned frame of the ellipse, `theta = 0` pointing from the
+    /// center towards `f2`).
+    pub fn point_at(&self, theta: f64) -> Point {
+        let a = self.semi_major();
+        let b = self.semi_minor();
+        let local = Point::new(a * theta.cos(), b * theta.sin());
+        let axis = (self.f2 - self.f1).normalized().unwrap_or(Point::new(1.0, 0.0));
+        let rotated = Point::new(
+            axis.x * local.x - axis.y * local.y,
+            axis.y * local.x + axis.x * local.y,
+        );
+        self.center() + rotated
+    }
+
+    /// Outward normal direction at a boundary point `p`, defined as the
+    /// bisector of the two focal rays. This is the geometric fact behind
+    /// Theorem 5: the ellipse normal at `p` bisects the angle
+    /// `f1 - p - f2`.
+    ///
+    /// Returns `None` when `p` coincides with a focus.
+    pub fn normal_at(&self, p: Point) -> Option<Point> {
+        let u = (p - self.f1).normalized()?;
+        let v = (p - self.f2).normalized()?;
+        (u + v).normalized().or_else(|| {
+            // p is on the segment between the foci (degenerate ellipse):
+            // any perpendicular direction is normal.
+            Point::new(-u.y, u.x).normalized()
+        })
+    }
+}
+
+impl fmt::Display for Ellipse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ellipse[f1={} f2={} sum={:.3}]", self.f1, self.f2, self.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ellipse {
+        Ellipse::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0), 10.0)
+    }
+
+    #[test]
+    fn axes() {
+        let e = sample();
+        assert!((e.semi_major() - 5.0).abs() < 1e-12);
+        assert!((e.semi_minor() - 4.0).abs() < 1e-12);
+        assert!((e.linear_eccentricity() - 3.0).abs() < 1e-12);
+        assert_eq!(e.center(), Point::ORIGIN);
+    }
+
+    #[test]
+    fn boundary_points_have_constant_focal_sum() {
+        let e = sample();
+        for i in 0..32 {
+            let theta = i as f64 * std::f64::consts::TAU / 32.0;
+            let p = e.point_at(theta);
+            assert!(
+                (e.focal_sum(p) - 10.0).abs() < 1e-9,
+                "focal sum {} at theta {}",
+                e.focal_sum(p),
+                theta
+            );
+        }
+    }
+
+    #[test]
+    fn rotated_ellipse_boundary() {
+        let e = Ellipse::new(Point::new(1.0, 1.0), Point::new(4.0, 5.0), 7.0);
+        for i in 0..16 {
+            let p = e.point_at(i as f64);
+            assert!(e.on_boundary(p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let e = sample();
+        assert!(e.contains(Point::ORIGIN));
+        assert!(e.contains(Point::new(4.9, 0.0)));
+        assert!(!e.contains(Point::new(5.1, 0.0)));
+        assert!(!e.contains(Point::new(0.0, 4.1)));
+    }
+
+    #[test]
+    fn degenerate_circle_when_foci_coincide() {
+        let e = Ellipse::new(Point::new(2.0, 2.0), Point::new(2.0, 2.0), 6.0);
+        assert!((e.semi_major() - 3.0).abs() < 1e-12);
+        assert!((e.semi_minor() - 3.0).abs() < 1e-12);
+        let p = e.point_at(1.0);
+        assert!((p.distance(Point::new(2.0, 2.0)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_bisects_focal_angle() {
+        let e = sample();
+        let p = e.point_at(0.7);
+        let n = e.normal_at(p).unwrap();
+        let u = (p - e.focus1()).normalized().unwrap();
+        let v = (p - e.focus2()).normalized().unwrap();
+        // The normal makes equal angles with both focal rays.
+        assert!((n.dot(u) - n.dot(v)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than focal distance")]
+    fn impossible_ellipse_panics() {
+        let _ = Ellipse::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 5.0);
+    }
+}

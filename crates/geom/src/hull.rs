@@ -1,0 +1,153 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! The hull perimeter is a classical lower bound on the length of any
+//! closed tour through a point set; the TSP substrate's tests use it to
+//! sanity-check tour constructions.
+
+use crate::Point;
+
+/// Computes the convex hull of a point set in counter-clockwise order.
+///
+/// Collinear points on hull edges are dropped. Returns fewer than three
+/// points for degenerate inputs (empty, single point, or all-collinear
+/// inputs return the extreme points only).
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::{Point, hull::convex_hull};
+///
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(0.0, 1.0),
+///     Point::new(0.5, 0.5), // interior
+/// ];
+/// assert_eq!(convex_hull(&pts).len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.distance_squared(*b) < 1e-24);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && (hull[hull.len() - 1] - hull[hull.len() - 2]).cross(p - hull[hull.len() - 1])
+                <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && (hull[hull.len() - 1] - hull[hull.len() - 2]).cross(p - hull[hull.len() - 1])
+                <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // Last point repeats the first.
+    hull
+}
+
+/// Perimeter of the convex hull of `points`.
+///
+/// For fewer than two distinct points the perimeter is zero; for exactly
+/// two it is twice their distance (out and back).
+pub fn hull_perimeter(points: &[Point]) -> f64 {
+    let h = convex_hull(points);
+    match h.len() {
+        0 | 1 => 0.0,
+        2 => 2.0 * h[0].distance(h[1]),
+        _ => {
+            let mut total = 0.0;
+            for i in 0..h.len() {
+                total += h[i].distance(h[(i + 1) % h.len()]);
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.5, 1.5),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!((hull_perimeter(&pts) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 4.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+        let area2 = (h[1] - h[0]).cross(h[2] - h[0]);
+        assert!(area2 > 0.0, "hull should be CCW");
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 2);
+        assert!((hull_perimeter(&pts) - 2.0 * pts[0].distance(pts[4])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        assert_eq!(hull_perimeter(&[Point::new(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![Point::new(1.0, 2.0); 10];
+        assert_eq!(convex_hull(&pts).len(), 1);
+    }
+
+    #[test]
+    fn interior_points_never_on_hull() {
+        let mut pts = vec![
+            Point::new(-5.0, -5.0),
+            Point::new(5.0, -5.0),
+            Point::new(5.0, 5.0),
+            Point::new(-5.0, 5.0),
+        ];
+        for i in 0..20 {
+            let a = i as f64 * 0.3;
+            pts.push(Point::new(a.sin() * 3.0, a.cos() * 3.0));
+        }
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        for p in &h {
+            assert!(p.x.abs() == 5.0 && p.y.abs() == 5.0);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Planar points and the vector algebra used throughout the system.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point (equivalently, a vector) in the Euclidean plane.
+///
+/// Coordinates are metres. The type is deliberately a plain `Copy` pair —
+/// sensor positions, anchor points and tour way-points are all `Point`s.
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::Point;
+///
+/// let a = Point::new(0.0, 3.0);
+/// let b = Point::new(4.0, 0.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length when the point is interpreted as a vector from the
+    /// origin.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared vector length.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (signed area of the parallelogram spanned by the
+    /// two vectors). Positive when `other` is counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    /// Values outside `[0, 1]` extrapolate along the same line.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Unit vector in the direction of `self`, or `None` for a (near-)zero
+    /// vector.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(Point::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// The vector rotated by `angle` radians counter-clockwise about the
+    /// origin.
+    pub fn rotated(self, angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Angle of the vector from the positive x-axis, in `(-pi, pi]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The unit vector at `angle` radians from the positive x-axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Point {
+        let (s, c) = angle.sin_cos();
+        Point::new(c, s)
+    }
+
+    /// `true` when both coordinates are finite numbers.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Centroid of a non-empty collection of points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn centroid<I: IntoIterator<Item = Point>>(points: I) -> Option<Point> {
+        let mut sum = Point::ORIGIN;
+        let mut n = 0usize;
+        for p in points {
+            sum += p;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Point> for f64 {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: Point) -> Point {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Sum for Point {
+    fn sum<I: Iterator<Item = Point>>(iter: I) -> Point {
+        iter.fold(Point::ORIGIN, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.5);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn pythagorean_distance() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn vector_algebra_round_trip() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * 2.0) / 2.0, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(2.0 * a, a * 2.0);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let ex = Point::new(1.0, 0.0);
+        let ey = Point::new(0.0, 1.0);
+        assert_eq!(ex.dot(ey), 0.0);
+        assert_eq!(ex.cross(ey), 1.0);
+        assert_eq!(ey.cross(ex), -1.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), a.lerp(b, 0.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Point::new(2.0, -7.0);
+        let r = v.rotated(1.234);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+        // Full turn comes back.
+        let full = v.rotated(std::f64::consts::TAU);
+        assert!(full.distance(v) < 1e-12);
+    }
+
+    #[test]
+    fn angle_round_trip() {
+        for &a in &[0.0, 0.5, 1.0, 2.0, 3.0, -2.5] {
+            let v = Point::from_angle(a);
+            let diff = (v.angle() - a).rem_euclid(std::f64::consts::TAU);
+            assert!(diff < 1e-12 || (std::f64::consts::TAU - diff) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert_eq!(Point::centroid(pts), Some(Point::new(1.0, 1.0)));
+        assert_eq!(Point::centroid(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point = (1.5, -2.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, -2.5));
+    }
+
+    #[test]
+    fn sum_of_points() {
+        let s: Point = [Point::new(1.0, 1.0), Point::new(2.0, 3.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(s, Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+    }
+}

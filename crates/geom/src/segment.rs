@@ -1,0 +1,126 @@
+//! Line segments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// A directed line segment from `a` to `b`.
+///
+/// Used for tour legs and for distance queries during tour optimization.
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::{Point, Segment};
+///
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// assert_eq!(s.length(), 10.0);
+/// assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Euclidean length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The point at parameter `t` along the segment (`t = 0` is `a`,
+    /// `t = 1` is `b`).
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter of the projection of `p` onto the supporting line,
+    /// clamped to `[0, 1]`.
+    pub fn project_clamped(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len2 = d.norm_squared();
+        if len2 <= f64::EPSILON {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len2).clamp(0.0, 1.0)
+    }
+
+    /// The point of the segment closest to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.at(self.project_clamped(p))
+    }
+
+    /// Distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The segment reversed (`b` to `a`).
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.project_clamped(Point::new(-5.0, 1.0)), 0.0);
+        assert_eq!(s.project_clamped(Point::new(15.0, 1.0)), 1.0);
+        assert_eq!(s.project_clamped(Point::new(4.0, 9.0)), 0.4);
+    }
+
+    #[test]
+    fn distance_to_interior_and_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(s.distance_to_point(Point::new(-3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.distance_to_point(Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn reversal() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 2.0));
+        assert_eq!(s.reversed().a, s.b);
+        assert_eq!(s.reversed().b, s.a);
+        assert_eq!(s.reversed().length(), s.length());
+    }
+}

@@ -1,0 +1,279 @@
+//! Visibility graphs and shortest obstacle-avoiding paths.
+//!
+//! Implements the metric the paper's Table I actually defines:
+//! `d(l_i, l_j)` as the *shortest path* between two charging locations.
+//! In an obstacle-free field that is the Euclidean distance; with polygon
+//! obstacles it is the shortest path in the visibility graph over the
+//! obstacle corners (optimal for polygonal obstacles in the plane).
+
+use crate::polygon::Polygon;
+use crate::{Point, Segment};
+
+/// A visibility-graph router over a fixed set of polygon obstacles.
+///
+/// Obstacle corners are the permanent graph nodes; each query adds its
+/// two endpoints, connects them to every mutually visible node, and runs
+/// Dijkstra.
+///
+/// # Example
+///
+/// ```
+/// use bc_geom::{Point, Polygon, visibility::VisibilityRouter};
+///
+/// let wall = Polygon::rectangle(Point::new(4.0, -5.0), Point::new(6.0, 5.0));
+/// let router = VisibilityRouter::new(vec![wall]);
+/// let direct = Point::new(0.0, 0.0).distance(Point::new(10.0, 0.0));
+/// let (len, path) = router.shortest_path(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// assert!(len > direct); // must route around the wall
+/// assert!(path.len() > 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisibilityRouter {
+    obstacles: Vec<Polygon>,
+    corners: Vec<Point>,
+    /// Adjacency between corners: `corner_adj[i]` lists `(j, dist)`.
+    corner_adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl VisibilityRouter {
+    /// Builds the router. Overlapping obstacles are allowed; corners
+    /// strictly inside another obstacle are unusable and get no edges.
+    pub fn new(obstacles: Vec<Polygon>) -> Self {
+        let corners: Vec<Point> = obstacles
+            .iter()
+            .flat_map(|p| p.vertices().iter().copied())
+            .collect();
+        let mut router = VisibilityRouter {
+            obstacles,
+            corner_adj: vec![Vec::new(); corners.len()],
+            corners,
+        };
+        for i in 0..router.corners.len() {
+            for j in (i + 1)..router.corners.len() {
+                if router.visible(router.corners[i], router.corners[j]) {
+                    let d = router.corners[i].distance(router.corners[j]);
+                    router.corner_adj[i].push((j, d));
+                    router.corner_adj[j].push((i, d));
+                }
+            }
+        }
+        router
+    }
+
+    /// The obstacle set.
+    pub fn obstacles(&self) -> &[Polygon] {
+        &self.obstacles
+    }
+
+    /// Whether the open segment between `a` and `b` is unobstructed.
+    pub fn visible(&self, a: Point, b: Point) -> bool {
+        let s = Segment::new(a, b);
+        !self.obstacles.iter().any(|o| o.blocks(s))
+    }
+
+    /// Whether `p` lies inside any obstacle.
+    pub fn inside_obstacle(&self, p: Point) -> bool {
+        self.obstacles.iter().any(|o| o.contains(p))
+    }
+
+    /// Shortest obstacle-avoiding path from `a` to `b`: its length and
+    /// way-points (including both endpoints).
+    ///
+    /// Endpoints inside an obstacle are routed as the crow flies (the
+    /// caller placed a charging anchor there; clearance is its problem),
+    /// falling back to the direct segment. When no path exists through
+    /// the graph the direct segment is also returned.
+    pub fn shortest_path(&self, a: Point, b: Point) -> (f64, Vec<Point>) {
+        if self.visible(a, b) {
+            return (a.distance(b), vec![a, b]);
+        }
+        // Dijkstra over corners + {a, b}.
+        let nc = self.corners.len();
+        let n = nc + 2;
+        let (ia, ib) = (nc, nc + 1);
+        // Edges from a and b to visible corners (and to each other,
+        // already handled above).
+        let mut extra: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 2];
+        for (ci, &c) in self.corners.iter().enumerate() {
+            if self.visible(a, c) {
+                extra[0].push((ci, a.distance(c)));
+            }
+            if self.visible(b, c) {
+                extra[1].push((ci, b.distance(c)));
+            }
+        }
+        let neighbours = |v: usize| -> Vec<(usize, f64)> {
+            match v {
+                v if v == ia => extra[0].clone(),
+                v if v == ib => extra[1].clone(),
+                v => {
+                    let mut out = self.corner_adj[v].clone();
+                    // Corners can also reach the endpoints.
+                    for (ep, idx) in [(a, ia), (b, ib)] {
+                        if self.visible(self.corners[v], ep) {
+                            out.push((idx, self.corners[v].distance(ep)));
+                        }
+                    }
+                    out
+                }
+            }
+        };
+        // Binary-heap Dijkstra.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Cost(f64);
+        impl Eq for Cost {}
+        impl PartialOrd for Cost {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cost {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[ia] = 0.0;
+        heap.push(Reverse((Cost(0.0), ia)));
+        while let Some(Reverse((Cost(d), v))) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            if v == ib {
+                break;
+            }
+            for (u, w) in neighbours(v) {
+                let nd = d + w;
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    prev[u] = v;
+                    heap.push(Reverse((Cost(nd), u)));
+                }
+            }
+        }
+        if !dist[ib].is_finite() {
+            // Disconnected (endpoint sealed in): fall back to direct.
+            return (a.distance(b), vec![a, b]);
+        }
+        let mut path = Vec::new();
+        let mut v = ib;
+        while v != usize::MAX {
+            path.push(match v {
+                v if v == ia => a,
+                v if v == ib => b,
+                v => self.corners[v],
+            });
+            v = prev[v];
+        }
+        path.reverse();
+        (dist[ib], path)
+    }
+
+    /// Length of the shortest obstacle-avoiding path (no way-points).
+    pub fn path_length(&self, a: Point, b: Point) -> f64 {
+        self.shortest_path(a, b).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall() -> VisibilityRouter {
+        VisibilityRouter::new(vec![Polygon::rectangle(
+            Point::new(4.0, -5.0),
+            Point::new(6.0, 5.0),
+        )])
+    }
+
+    #[test]
+    fn free_space_is_euclidean() {
+        let r = VisibilityRouter::new(Vec::new());
+        let (len, path) = r.shortest_path(Point::ORIGIN, Point::new(3.0, 4.0));
+        assert_eq!(len, 5.0);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn detours_around_a_wall() {
+        let r = wall();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let (len, path) = r.shortest_path(a, b);
+        // Optimal detour goes over a wall corner: through (4,5) and (6,5)
+        // or the mirrored pair below.
+        let expected = {
+            let via_top = a.distance(Point::new(4.0, 5.0))
+                + Point::new(4.0, 5.0).distance(Point::new(6.0, 5.0))
+                + Point::new(6.0, 5.0).distance(b);
+            via_top
+        };
+        assert!((len - expected).abs() < 1e-9, "len {len} vs {expected}");
+        assert_eq!(path.len(), 4);
+        // The path is symmetric in reverse.
+        let (back, _) = r.shortest_path(b, a);
+        assert!((back - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_legs_are_unobstructed() {
+        let r = VisibilityRouter::new(vec![
+            Polygon::rectangle(Point::new(2.0, -3.0), Point::new(3.0, 3.0)),
+            Polygon::rectangle(Point::new(5.0, -1.0), Point::new(7.0, 8.0)),
+        ]);
+        let (len, path) = r.shortest_path(Point::new(0.0, 0.0), Point::new(9.0, 0.0));
+        assert!(len > 9.0);
+        for w in path.windows(2) {
+            assert!(r.visible(w[0], w[1]), "leg {} -> {} blocked", w[0], w[1]);
+        }
+        // Path length equals the sum of its legs.
+        let sum: f64 = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+        assert!((sum - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_of_the_metric() {
+        let r = wall();
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 7.0),
+            Point::new(5.0, -7.0),
+        ];
+        for &x in &pts {
+            for &y in &pts {
+                for &z in &pts {
+                    assert!(
+                        r.path_length(x, z) <= r.path_length(x, y) + r.path_length(y, z) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_never_shorter_than_euclidean() {
+        let r = wall();
+        let pairs = [
+            (Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            (Point::new(0.0, 4.0), Point::new(10.0, -4.0)),
+            (Point::new(-3.0, 1.0), Point::new(12.0, 2.0)),
+        ];
+        for (a, b) in pairs {
+            assert!(r.path_length(a, b) >= a.distance(b) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn visible_endpoints_shortcut() {
+        let r = wall();
+        // Both on the same side: straight line.
+        let (len, path) = r.shortest_path(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        assert!((len - Point::new(0.0, 0.0).distance(Point::new(2.0, 1.0))).abs() < 1e-12);
+        assert_eq!(path.len(), 2);
+    }
+}

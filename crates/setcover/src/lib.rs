@@ -1,0 +1,43 @@
+//! Set-cover substrate for optimal bundle generation.
+//!
+//! The paper's Optimal Bundle Generation (OBG) problem is exactly minimum
+//! set cover over the family of feasible charging bundles (Theorem 1).
+//! This crate provides:
+//!
+//! * [`BitSet`] — a compact dynamic bitset used to represent candidate
+//!   bundles over the sensor universe;
+//! * [`Instance`] — a validated set-cover instance;
+//! * [`greedy_cover`] — the classical greedy algorithm with the
+//!   `ln n + 1` guarantee the paper proves for Algorithm 2;
+//! * [`exact_cover`] — branch-and-bound exact minimum cover, the
+//!   "Optimal" baseline of Fig. 11.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_setcover::{BitSet, Instance, greedy_cover, exact_cover};
+//!
+//! let sets = vec![
+//!     BitSet::from_indices(4, &[0, 1]),
+//!     BitSet::from_indices(4, &[1, 2]),
+//!     BitSet::from_indices(4, &[2, 3]),
+//!     BitSet::from_indices(4, &[0, 1, 2]),
+//! ];
+//! let inst = Instance::new(4, sets).unwrap();
+//! let greedy = greedy_cover(&inst);
+//! let exact = exact_cover(&inst, None).unwrap();
+//! assert!(exact.len() <= greedy.len());
+//! assert_eq!(exact.len(), 2); // {0,1,2} + {2,3}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod exact;
+pub mod greedy;
+pub mod instance;
+
+pub use bitset::BitSet;
+pub use exact::exact_cover;
+pub use greedy::greedy_cover;
+pub use instance::{Instance, InstanceError};

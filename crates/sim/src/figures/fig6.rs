@@ -1,0 +1,82 @@
+//! Fig. 6 — the bundle-charging trade-off.
+//!
+//! Fig. 6(a) plots the BC tour length and total charging time against the
+//! bundle radius; Fig. 6(b) plots total energy, which first falls (fewer
+//! stops, shorter tour) and then flattens/rises (longer worst-case
+//! charging distances) — the trade-off that motivates searching for an
+//! optimal bundle radius.
+
+use bc_core::planner::Algorithm;
+use bc_core::PlannerConfig;
+
+use crate::figures::{sweep_point, ExpConfig, DENSE_FIELD_SIDE_M};
+use crate::Table;
+
+/// Sensor count used by the trade-off experiment.
+pub const N_SENSORS: usize = 100;
+
+/// Radii swept (m).
+pub const RADII: [f64; 9] = [5.0, 10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0, 120.0];
+
+/// Generates the Fig. 6 data: one table backing both panels.
+///
+/// Columns: radius, BC tour length (m), BC total charging time (s), BC
+/// total energy (J), plus the standard deviation of the energy.
+pub fn tables(exp: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig6_tradeoff",
+        &["radius_m", "tour_m", "charge_s", "total_j", "total_j_std"],
+    );
+    for r in RADII {
+        let cfg = PlannerConfig::paper_sim(r);
+        let s = sweep_point(N_SENSORS, DENSE_FIELD_SIDE_M, Algorithm::Bc, &cfg, exp);
+        t.push_row(&[
+            r,
+            s.tour_length_m.mean,
+            s.charge_time_s.mean,
+            s.total_energy_j.mean,
+            s.total_energy_j.std,
+        ]);
+    }
+    vec![t]
+}
+
+/// The radius minimising mean BC total energy in a generated table.
+pub fn optimal_radius(table: &Table) -> f64 {
+    let radii = table.column("radius_m").expect("radius column");
+    let energy = table.column("total_j").expect("energy column");
+    let mut best = 0usize;
+    for i in 1..energy.len() {
+        if energy[i] < energy[best] {
+            best = i;
+        }
+    }
+    radii[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_directions_hold() {
+        let t = &tables(&ExpConfig::quick())[0];
+        let tour = t.column("tour_m").unwrap();
+        // Tour length decreases from the smallest to the largest radius.
+        assert!(
+            tour.last().unwrap() < tour.first().unwrap(),
+            "tour should shrink with radius: {tour:?}"
+        );
+        let energy = t.column("total_j").unwrap();
+        // Energy at some interior radius beats the smallest radius.
+        let min = energy.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < energy[0]);
+    }
+
+    #[test]
+    fn optimal_radius_is_in_sweep() {
+        let t = &tables(&ExpConfig::quick())[0];
+        let r = optimal_radius(t);
+        assert!(RADII.contains(&r));
+    }
+}

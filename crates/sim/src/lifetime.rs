@@ -1,0 +1,322 @@
+//! Multi-round lifetime simulation — perpetual operation under a
+//! recharging policy.
+//!
+//! The paper's introduction promises that with wireless recharging "the
+//! lifetime of a WRSN can be extended infinitely for perpetual
+//! operations", and its network model triggers a charging round when
+//! sensors run low. This module closes that loop: sensors drain
+//! continuously, a charging round is dispatched when enough of them fall
+//! below a threshold, the mobile charger executes the configured
+//! planner's tour in real time (driving and dwelling while everything
+//! keeps draining), and the simulation reports deaths, downtime and
+//! charger energy over a long horizon.
+//!
+//! It is the system-level experiment the per-tour figures cannot show:
+//! a planner with cheaper tours can afford more frequent rounds and keeps
+//! the network alive with less energy.
+
+use bc_core::planner::{run, Algorithm};
+use bc_core::PlannerConfig;
+use bc_wsn::Network;
+
+/// Configuration of a lifetime simulation.
+#[derive(Debug, Clone)]
+pub struct LifetimeConfig {
+    /// Simulated wall-clock horizon (s).
+    pub horizon_s: f64,
+    /// Continuous drain per sensor (W).
+    pub drain_w: f64,
+    /// Usable battery capacity per sensor (J). Batteries start full.
+    pub battery_j: f64,
+    /// A round is dispatched when this many sensors fall below
+    /// `trigger_level_j`.
+    pub trigger_count: usize,
+    /// Battery level (J) below which a sensor counts as "low".
+    pub trigger_level_j: f64,
+    /// Charger driving speed (m/s).
+    pub speed_mps: f64,
+    /// Planner used for every round.
+    pub algorithm: Algorithm,
+    /// Planner configuration (bundle radius, models).
+    pub planner: PlannerConfig,
+}
+
+impl LifetimeConfig {
+    /// A sustainable default scenario on the paper's simulation models:
+    /// 2 J batteries draining at 0.2 mW (a battery lasts ~2.8 h), with a
+    /// round dispatched once a quarter of the network falls to half
+    /// charge — early enough that the slow WISP-scale tour (an hour of
+    /// driving and dwelling) completes before anyone runs dry.
+    pub fn paper_sim(n_sensors: usize, radius: f64, algorithm: Algorithm) -> Self {
+        LifetimeConfig {
+            horizon_s: 24.0 * 3600.0,
+            drain_w: 2e-4,
+            battery_j: 2.0,
+            trigger_count: (n_sensors / 4).max(1),
+            trigger_level_j: 1.0,
+            speed_mps: 1.0,
+            algorithm,
+            planner: PlannerConfig::paper_sim(radius),
+        }
+    }
+}
+
+/// Outcome of a lifetime simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeReport {
+    /// Charging rounds dispatched within the horizon.
+    pub rounds: usize,
+    /// Total charger energy across all rounds (J).
+    pub charger_energy_j: f64,
+    /// Sensor-seconds spent dead (battery at zero).
+    pub downtime_sensor_s: f64,
+    /// Fraction of sensor-time alive, in `[0, 1]`.
+    pub availability: f64,
+    /// Number of sensors that ever died.
+    pub sensors_ever_dead: usize,
+    /// Lowest battery level observed anywhere (J).
+    pub min_battery_j: f64,
+}
+
+/// Runs the lifetime simulation.
+///
+/// The tour is planned once (the deployment is static) with each
+/// sensor's demand equal to the full battery capacity, and replayed
+/// every round; during a round, every sensor keeps draining while
+/// members of the current stop harvest at their modelled rate, capped at
+/// capacity.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (non-positive horizon,
+/// speed, or battery).
+pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
+    assert!(cfg.horizon_s > 0.0, "horizon must be positive");
+    assert!(cfg.speed_mps > 0.0, "speed must be positive");
+    assert!(cfg.battery_j > 0.0, "battery must be positive");
+    let n = net.len();
+    if n == 0 {
+        return LifetimeReport {
+            rounds: 0,
+            charger_energy_j: 0.0,
+            downtime_sensor_s: 0.0,
+            availability: 1.0,
+            sensors_ever_dead: 0,
+            min_battery_j: 0.0,
+        };
+    }
+
+    // Plan once with demand = full battery (worst-case top-up).
+    let mut demand_net = net.clone();
+    let plan = {
+        let sensors: Vec<_> = demand_net
+            .sensors()
+            .iter()
+            .map(|s| bc_wsn::Sensor::new(s.id, s.pos, cfg.battery_j))
+            .collect();
+        demand_net = Network::new(sensors, net.field(), net.base());
+        run(cfg.algorithm, &demand_net, &cfg.planner)
+    };
+
+    let mut battery = vec![cfg.battery_j; n];
+    let mut ever_dead = vec![false; n];
+    let mut downtime = 0.0;
+    let mut min_battery = cfg.battery_j;
+    let mut charger_energy = 0.0;
+    let mut rounds = 0usize;
+    let mut now = 0.0f64;
+
+    // Advance all batteries by dt of pure drain, tracking downtime.
+    let drain_all = |battery: &mut [f64],
+                         ever_dead: &mut [bool],
+                         downtime: &mut f64,
+                         min_battery: &mut f64,
+                         dt: f64| {
+        for (b, dead) in battery.iter_mut().zip(ever_dead.iter_mut()) {
+            let depleted_after = (*b - cfg.drain_w * dt).max(0.0);
+            if *b <= 0.0 {
+                *downtime += dt;
+            } else if depleted_after <= 0.0 {
+                // Died partway through the interval.
+                let time_alive = *b / cfg.drain_w;
+                *downtime += (dt - time_alive).max(0.0);
+                *dead = true;
+            }
+            *b = depleted_after;
+            *min_battery = min_battery.min(*b);
+        }
+    };
+
+    while now < cfg.horizon_s {
+        // Time until `trigger_count` sensors are low: simulate drain until
+        // the trigger fires or the horizon ends.
+        let mut lows: Vec<f64> = battery
+            .iter()
+            .map(|&b| ((b - cfg.trigger_level_j) / cfg.drain_w).max(0.0))
+            .collect();
+        lows.sort_by(f64::total_cmp);
+        let k = cfg.trigger_count.min(n) - 1;
+        let wait = lows[k];
+        let dt = wait.min(cfg.horizon_s - now);
+        drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dt);
+        now += dt;
+        if now >= cfg.horizon_s {
+            break;
+        }
+
+        // Dispatch a round: replay the planned tour in real time.
+        rounds += 1;
+        let stops = &plan.stops;
+        let m = stops.len();
+        for (i, stop) in stops.iter().enumerate() {
+            if now >= cfg.horizon_s {
+                break;
+            }
+            // Drive from the previous stop.
+            let prev = stops[(i + m - 1) % m].anchor();
+            let leg = prev.distance(stop.anchor());
+            let drive_t = (leg / cfg.speed_mps).min(cfg.horizon_s - now);
+            drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
+            now += drive_t;
+            charger_energy += cfg.planner.energy.movement_energy(drive_t * cfg.speed_mps);
+            if now >= cfg.horizon_s {
+                break;
+            }
+            // Park and charge: members harvest while everyone drains.
+            let dwell = stop.dwell.min(cfg.horizon_s - now);
+            drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
+            for &j in &stop.bundle.sensors {
+                let d = net.sensor(j).pos.distance(stop.anchor());
+                let harvested = cfg.planner.charging.delivered_energy(d, dwell);
+                battery[j] = (battery[j] + harvested).min(cfg.battery_j);
+            }
+            now += dwell;
+            charger_energy += cfg.planner.energy.charging_energy(dwell);
+        }
+    }
+
+    let total_sensor_time = n as f64 * cfg.horizon_s;
+    LifetimeReport {
+        rounds,
+        charger_energy_j: charger_energy,
+        downtime_sensor_s: downtime,
+        availability: 1.0 - downtime / total_sensor_time,
+        sensors_ever_dead: ever_dead.iter().filter(|&&d| d).count(),
+        min_battery_j: min_battery,
+    }
+}
+
+/// The lifetime comparison as a [`crate::Table`]: one row per planner on
+/// a shared 60-node deployment (the `repro lifetime` subcommand).
+///
+/// `exp.runs` seeds are averaged; columns are rounds dispatched, total
+/// charger energy, availability (%), and sensors that ever died.
+pub fn table(exp: &crate::figures::ExpConfig) -> Vec<crate::Table> {
+    use bc_geom::Aabb;
+    let mut t = crate::Table::new(
+        "lifetime_24h",
+        &["algorithm", "rounds", "charger_energy_j", "availability_pct", "ever_dead"],
+    );
+    for (ai, algo) in Algorithm::ALL.iter().enumerate() {
+        let rows: Vec<LifetimeReport> = crate::repeat(exp.runs, exp.base_seed, |seed| {
+            let net = bc_wsn::deploy::uniform(60, Aabb::square(250.0), 2.0, seed);
+            let cfg = LifetimeConfig::paper_sim(60, 25.0, *algo);
+            simulate(&net, &cfg)
+        });
+        let mean = |f: &dyn Fn(&LifetimeReport) -> f64| {
+            rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+        };
+        t.push_row(&[
+            ai as f64,
+            mean(&|r| r.rounds as f64),
+            mean(&|r| r.charger_energy_j),
+            100.0 * mean(&|r| r.availability),
+            mean(&|r| r.sensors_ever_dead as f64),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    fn small_net() -> Network {
+        deploy::uniform(30, Aabb::square(200.0), 2.0, 3)
+    }
+
+    #[test]
+    fn charger_keeps_network_alive() {
+        let net = small_net();
+        let cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::BcOpt);
+        let rep = simulate(&net, &cfg);
+        assert!(rep.rounds > 0, "no rounds dispatched");
+        assert!(
+            rep.availability > 0.99,
+            "availability {} with {} deaths",
+            rep.availability,
+            rep.sensors_ever_dead
+        );
+    }
+
+    #[test]
+    fn no_charging_when_drain_is_negligible() {
+        let net = small_net();
+        let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
+        cfg.drain_w = 1e-9; // batteries outlast the horizon
+        let rep = simulate(&net, &cfg);
+        assert_eq!(rep.rounds, 0);
+        assert_eq!(rep.charger_energy_j, 0.0);
+        assert_eq!(rep.availability, 1.0);
+    }
+
+    #[test]
+    fn heavier_drain_needs_more_rounds() {
+        let net = small_net();
+        let mut light = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
+        light.horizon_s = 6.0 * 3600.0;
+        let mut heavy = light.clone();
+        heavy.drain_w *= 3.0;
+        let r_light = simulate(&net, &light);
+        let r_heavy = simulate(&net, &heavy);
+        assert!(r_heavy.rounds > r_light.rounds);
+        assert!(r_heavy.charger_energy_j > r_light.charger_energy_j);
+    }
+
+    #[test]
+    fn efficient_planner_spends_less_over_the_horizon() {
+        let net = deploy::uniform(60, Aabb::square(250.0), 2.0, 9);
+        let mut sc = LifetimeConfig::paper_sim(60, 25.0, Algorithm::Sc);
+        sc.horizon_s = 6.0 * 3600.0;
+        let mut opt = sc.clone();
+        opt.algorithm = Algorithm::BcOpt;
+        let r_sc = simulate(&net, &sc);
+        let r_opt = simulate(&net, &opt);
+        assert!(
+            r_opt.charger_energy_j < r_sc.charger_energy_j,
+            "BC-OPT {} vs SC {}",
+            r_opt.charger_energy_j,
+            r_sc.charger_energy_j
+        );
+    }
+
+    #[test]
+    fn empty_network_trivial_report() {
+        let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
+        let cfg = LifetimeConfig::paper_sim(1, 10.0, Algorithm::Bc);
+        let rep = simulate(&net, &cfg);
+        assert_eq!(rep.rounds, 0);
+        assert_eq!(rep.availability, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn bad_horizon_panics() {
+        let net = small_net();
+        let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
+        cfg.horizon_s = 0.0;
+        let _ = simulate(&net, &cfg);
+    }
+}

@@ -1,0 +1,186 @@
+//! Table rendering and CSV output for experiment results.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned results table.
+///
+/// # Example
+///
+/// ```
+/// use bc_sim::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.push_row(&[1.0, 2.5]);
+/// let text = t.to_string();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("2.500"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption (typically the figure id).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Numeric rows; rendered with three decimals.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header count {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// The values of one column, by header name.
+    pub fn column(&self, header: &str) -> Option<Vec<f64>> {
+        let i = self.headers.iter().position(|h| h == header)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+
+    /// Serialises the table as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<title>.csv`, creating the directory if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.title.replace([' ', '/'], "_")));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths from headers and formatted cells.
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| format_cell(*v)).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", rule.join("  "))?;
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Compact numeric formatting: integers plain, everything else with three
+/// decimals.
+fn format_cell(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig-test", &["radius", "energy"]);
+        t.push_row(&[5.0, 123.456]);
+        t.push_row(&[10.0, 99.0]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_and_includes_all() {
+        let text = sample().to_string();
+        assert!(text.contains("fig-test"));
+        assert!(text.contains("radius"));
+        assert!(text.contains("123.456"));
+        assert!(text.contains("99"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "radius,energy");
+        assert!(lines[1].starts_with("5,"));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample();
+        assert_eq!(t.column("radius"), Some(vec![5.0, 10.0]));
+        assert!(t.column("nope").is_none());
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("bc_sim_report_test");
+        let path = sample().save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("radius,energy"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel execution of seeded experiment runs.
+
+use bc_core::Metrics;
+use crossbeam::thread;
+
+use crate::Summary;
+
+/// Runs `f(seed)` for `runs` consecutive seeds starting at `base_seed`,
+/// spread across the machine's cores, and returns the results in seed
+/// order.
+///
+/// Every figure's "each point is an average of N runs with different
+/// random seeds" (Section VI-A) goes through here, which keeps results
+/// deterministic for a fixed `(base_seed, runs)` regardless of thread
+/// scheduling.
+pub fn repeat<R, F>(runs: usize, base_seed: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    if runs == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(runs);
+    if workers <= 1 {
+        return (0..runs).map(|i| f(base_seed + i as u64)).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..runs).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= runs {
+                    break;
+                }
+                let r = f(base_seed + i as u64);
+                **slot_refs[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("all runs completed"))
+        .collect()
+}
+
+/// Per-field summaries of a batch of [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSummary {
+    /// Summary of the stop counts.
+    pub num_stops: Summary,
+    /// Summary of tour lengths (m).
+    pub tour_length_m: Summary,
+    /// Summary of total charging times (s).
+    pub charge_time_s: Summary,
+    /// Summary of total operating energies (J).
+    pub total_energy_j: Summary,
+    /// Summary of per-sensor average charging times (s).
+    pub avg_charge_time_per_sensor_s: Summary,
+}
+
+/// Summarises each metric across runs.
+pub fn average_metrics(all: &[Metrics]) -> MetricsSummary {
+    fn col(all: &[Metrics], f: impl Fn(&Metrics) -> f64) -> Summary {
+        Summary::of(&all.iter().map(f).collect::<Vec<_>>())
+    }
+    MetricsSummary {
+        num_stops: col(all, |m| m.num_stops as f64),
+        tour_length_m: col(all, |m| m.tour_length_m),
+        charge_time_s: col(all, |m| m.charge_time_s),
+        total_energy_j: col(all, |m| m.total_energy_j),
+        avg_charge_time_per_sensor_s: col(all, |m| m.avg_charge_time_per_sensor_s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_is_ordered_and_deterministic() {
+        let a = repeat(16, 100, |seed| seed * 2);
+        let b = repeat(16, 100, |seed| seed * 2);
+        assert_eq!(a, b);
+        assert_eq!(a[0], 200);
+        assert_eq!(a[15], 230);
+    }
+
+    #[test]
+    fn repeat_zero_runs() {
+        let v: Vec<u64> = repeat(0, 0, |s| s);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn repeat_single_run() {
+        assert_eq!(repeat(1, 7, |s| s + 1), vec![8]);
+    }
+
+    #[test]
+    fn metrics_averaging() {
+        let m = |e: f64| Metrics {
+            num_stops: 2,
+            tour_length_m: 10.0,
+            charge_time_s: 5.0,
+            move_energy_j: 0.0,
+            charge_energy_j: 0.0,
+            total_energy_j: e,
+            avg_charge_time_per_sensor_s: 1.0,
+        };
+        let s = average_metrics(&[m(10.0), m(20.0)]);
+        assert_eq!(s.total_energy_j.mean, 15.0);
+        assert_eq!(s.num_stops.mean, 2.0);
+        assert_eq!(s.tour_length_m.n, 2);
+    }
+}

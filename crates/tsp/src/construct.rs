@@ -1,0 +1,267 @@
+//! Tour construction heuristics.
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook formulations
+
+use crate::{DistanceMatrix, Tour};
+
+/// Nearest-neighbour construction starting from `start`.
+///
+/// Repeatedly moves to the closest unvisited point. `O(n^2)`.
+///
+/// # Panics
+///
+/// Panics if `start >= m.len()` on a non-empty matrix.
+pub fn nearest_neighbor(m: &DistanceMatrix, start: usize) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::empty();
+    }
+    assert!(start < n, "start index {start} out of bounds for {n} points");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[current] = true;
+    order.push(current);
+    let mut length = 0.0;
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for j in 0..n {
+            if !visited[j] {
+                let d = m.dist(current, j);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+        }
+        visited[best] = true;
+        order.push(best);
+        length += best_d;
+        current = best;
+    }
+    length += m.dist(current, start);
+    Tour { order, length }
+}
+
+/// Cheapest-insertion construction.
+///
+/// Starts from the two mutually farthest points and repeatedly inserts the
+/// point whose best insertion position increases the tour least. `O(n^3)`
+/// worst case in this simple form, fine for the instance sizes used here.
+pub fn cheapest_insertion(m: &DistanceMatrix) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::empty();
+    }
+    if n == 1 {
+        return Tour {
+            order: vec![0],
+            length: 0.0,
+        };
+    }
+    // Seed with the farthest pair for a wide initial loop.
+    let (mut a, mut b, mut best) = (0, 1, -1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if m.dist(i, j) > best {
+                best = m.dist(i, j);
+                a = i;
+                b = j;
+            }
+        }
+    }
+    let mut order = vec![a, b];
+    let mut in_tour = vec![false; n];
+    in_tour[a] = true;
+    in_tour[b] = true;
+    while order.len() < n {
+        let mut pick = usize::MAX;
+        let mut pick_pos = 0usize;
+        let mut pick_cost = f64::INFINITY;
+        for v in 0..n {
+            if in_tour[v] {
+                continue;
+            }
+            for pos in 0..order.len() {
+                let u = order[pos];
+                let w = order[(pos + 1) % order.len()];
+                let cost = m.dist(u, v) + m.dist(v, w) - m.dist(u, w);
+                if cost < pick_cost {
+                    pick_cost = cost;
+                    pick = v;
+                    pick_pos = pos + 1;
+                }
+            }
+        }
+        order.insert(pick_pos, pick);
+        in_tour[pick] = true;
+    }
+    Tour::from_order(order, m)
+}
+
+/// Greedy-edge construction: sorts all edges by length and adds an edge
+/// whenever it does not create a vertex of degree three or a premature
+/// subcycle. `O(n^2 log n)`.
+pub fn greedy_edge(m: &DistanceMatrix) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::empty();
+    }
+    if n == 1 {
+        return Tour {
+            order: vec![0],
+            length: 0.0,
+        };
+    }
+    if n == 2 {
+        return Tour {
+            order: vec![0, 1],
+            length: 2.0 * m.dist(0, 1),
+        };
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    edges.sort_by(|&(a, b), &(c, d)| m.dist(a, b).total_cmp(&m.dist(c, d)));
+
+    let mut degree = vec![0u8; n];
+    // Union-find to detect subcycles.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::with_capacity(2); n];
+    let mut added = 0usize;
+    for (i, j) in edges {
+        if added == n {
+            break;
+        }
+        if degree[i] >= 2 || degree[j] >= 2 {
+            continue;
+        }
+        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+        if ri == rj && added != n - 1 {
+            continue; // would close a premature cycle
+        }
+        degree[i] += 1;
+        degree[j] += 1;
+        parent[ri] = rj;
+        adj[i].push(j);
+        adj[j].push(i);
+        added += 1;
+    }
+    // Walk the single cycle.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        order.push(cur);
+        let next = *adj[cur]
+            .iter()
+            .find(|&&x| x != prev)
+            .expect("greedy edge construction produced a broken cycle");
+        prev = cur;
+        cur = next;
+    }
+    Tour::from_order(order, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_geom::Point;
+
+    fn ring(n: usize, r: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::from_angle(i as f64 * std::f64::consts::TAU / n as f64) * r)
+            .collect()
+    }
+
+    fn scattered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                Point::new((a * 12.9898).sin() * 100.0, (a * 78.233).cos() * 100.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nn_visits_every_point_once() {
+        let pts = scattered(25);
+        let m = DistanceMatrix::from_points(&pts);
+        let t = nearest_neighbor(&m, 0);
+        assert!(t.validate(25));
+        assert!((t.recompute_length(&m) - t.length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nn_on_ring_is_optimal() {
+        let pts = ring(12, 10.0);
+        let m = DistanceMatrix::from_points(&pts);
+        let t = nearest_neighbor(&m, 0);
+        // Perimeter of the regular 12-gon.
+        let side = pts[0].distance(pts[1]);
+        assert!((t.length - 12.0 * side).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nn_start_variation() {
+        let pts = scattered(15);
+        let m = DistanceMatrix::from_points(&pts);
+        for s in 0..15 {
+            let t = nearest_neighbor(&m, s);
+            assert!(t.validate(15));
+            assert_eq!(t.order[0], s);
+        }
+    }
+
+    #[test]
+    fn cheapest_insertion_valid_and_reasonable() {
+        let pts = scattered(30);
+        let m = DistanceMatrix::from_points(&pts);
+        let ci = cheapest_insertion(&m);
+        assert!(ci.validate(30));
+        let nn = nearest_neighbor(&m, 0);
+        // Insertion is usually no worse than 1.5x NN; just sanity-bound it.
+        assert!(ci.length <= nn.length * 1.5);
+    }
+
+    #[test]
+    fn greedy_edge_valid() {
+        let pts = scattered(30);
+        let m = DistanceMatrix::from_points(&pts);
+        let t = greedy_edge(&m);
+        assert!(t.validate(30));
+        assert!((t.recompute_length(&m) - t.length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_constructors_handle_tiny_inputs() {
+        for n in 0..4usize {
+            let pts = scattered(n);
+            let m = DistanceMatrix::from_points(&pts);
+            if n > 0 {
+                assert!(nearest_neighbor(&m, 0).validate(n));
+            } else {
+                assert!(nearest_neighbor(&m, 0).is_empty());
+            }
+            assert!(cheapest_insertion(&m).validate(n) || n == 0);
+            assert!(greedy_edge(&m).validate(n) || n == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn nn_bad_start_panics() {
+        let m = DistanceMatrix::from_points(&scattered(3));
+        let _ = nearest_neighbor(&m, 7);
+    }
+}

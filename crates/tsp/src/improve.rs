@@ -1,0 +1,233 @@
+//! Local-search tour improvement: 2-opt and Or-opt.
+
+use crate::{DistanceMatrix, Tour};
+
+/// Runs 2-opt to local optimality: repeatedly reverses a tour segment when
+/// doing so shortens the tour. Returns `true` if any improvement was made.
+///
+/// First-improvement strategy with restart, `O(n^2)` per sweep. The tour's
+/// cached length is updated incrementally.
+pub fn two_opt(tour: &mut Tour, m: &DistanceMatrix) -> bool {
+    let n = tour.order.len();
+    if n < 4 {
+        return false;
+    }
+    let mut any = false;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 1 {
+            for j in (i + 2)..n {
+                // Skip the pair that shares the wrap-around edge.
+                if i == 0 && j == n - 1 {
+                    continue;
+                }
+                let a = tour.order[i];
+                let b = tour.order[i + 1];
+                let c = tour.order[j];
+                let d = tour.order[(j + 1) % n];
+                let delta = m.dist(a, c) + m.dist(b, d) - m.dist(a, b) - m.dist(c, d);
+                if delta < -1e-10 {
+                    tour.order[i + 1..=j].reverse();
+                    tour.length += delta;
+                    improved = true;
+                    any = true;
+                }
+            }
+        }
+    }
+    any
+}
+
+/// Runs Or-opt to local optimality: relocates segments of 1, 2 or 3
+/// consecutive points to a better position (in either orientation).
+/// Returns `true` if any improvement was made.
+pub fn or_opt(tour: &mut Tour, m: &DistanceMatrix) -> bool {
+    let n = tour.order.len();
+    if n < 4 {
+        return false;
+    }
+    let mut any = false;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        'outer: for seg_len in 1..=3usize {
+            if n < seg_len + 3 {
+                continue;
+            }
+            for start in 0..n {
+                // Segment occupies positions start..start+seg_len (cyclic).
+                let before = tour.order[(start + n - 1) % n];
+                let first = tour.order[start];
+                let last = tour.order[(start + seg_len - 1) % n];
+                let after = tour.order[(start + seg_len) % n];
+                let removal_gain =
+                    m.dist(before, first) + m.dist(last, after) - m.dist(before, after);
+                if removal_gain <= 1e-10 {
+                    continue;
+                }
+                // Try inserting between every other edge (u, v).
+                for k in 0..n {
+                    let pos = (start + seg_len + k) % n;
+                    let u = tour.order[pos];
+                    let v = tour.order[(pos + 1) % n];
+                    // Skip edges that touch the segment itself.
+                    if within_cyclic(pos, start, seg_len, n)
+                        || within_cyclic((pos + 1) % n, start, seg_len, n)
+                    {
+                        continue;
+                    }
+                    let fwd = m.dist(u, first) + m.dist(last, v) - m.dist(u, v);
+                    let rev = m.dist(u, last) + m.dist(first, v) - m.dist(u, v);
+                    let (cost, reversed) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+                    if cost < removal_gain - 1e-10 {
+                        relocate(&mut tour.order, start, seg_len, pos, reversed);
+                        tour.length -= removal_gain - cost;
+                        improved = true;
+                        any = true;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+    }
+    any
+}
+
+/// Whether cyclic position `pos` falls inside the segment starting at
+/// `start` of length `len` in a tour of `n` positions.
+fn within_cyclic(pos: usize, start: usize, len: usize, n: usize) -> bool {
+    let rel = (pos + n - start) % n;
+    rel < len
+}
+
+/// Removes the cyclic segment `[start, start+len)` and reinserts it after
+/// the point currently at cyclic position `after_pos` (which must lie
+/// outside the segment), optionally reversed.
+fn relocate(order: &mut Vec<usize>, start: usize, len: usize, after_pos: usize, reversed: bool) {
+    let n = order.len();
+    let mut seg: Vec<usize> = (0..len).map(|k| order[(start + k) % n]).collect();
+    if reversed {
+        seg.reverse();
+    }
+    let after_val = order[after_pos];
+    // Remove segment values.
+    let keep: Vec<usize> = (0..n)
+        .filter(|&i| !within_cyclic(i, start, len, n))
+        .map(|i| order[i])
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for v in keep {
+        out.push(v);
+        if v == after_val {
+            out.extend_from_slice(&seg);
+        }
+    }
+    *order = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::nearest_neighbor;
+    use bc_geom::Point;
+
+    fn scattered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                Point::new((a * 12.9898).sin() * 100.0, (a * 78.233).cos() * 100.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_opt_uncrosses_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let m = DistanceMatrix::from_points(&pts);
+        let mut t = Tour::from_order(vec![0, 1, 2, 3], &m); // crossing
+        assert!(two_opt(&mut t, &m));
+        assert!((t.length - 4.0).abs() < 1e-9);
+        assert!(t.validate(4));
+    }
+
+    #[test]
+    fn improvements_keep_permutation_and_length_consistent() {
+        let pts = scattered(50);
+        let m = DistanceMatrix::from_points(&pts);
+        let mut t = nearest_neighbor(&m, 0);
+        let before = t.length;
+        two_opt(&mut t, &m);
+        or_opt(&mut t, &m);
+        assert!(t.validate(50));
+        assert!(t.length <= before + 1e-9);
+        assert!(
+            (t.recompute_length(&m) - t.length).abs() < 1e-6,
+            "cached {} vs recomputed {}",
+            t.length,
+            t.recompute_length(&m)
+        );
+    }
+
+    #[test]
+    fn two_opt_fixed_point() {
+        let pts = scattered(30);
+        let m = DistanceMatrix::from_points(&pts);
+        let mut t = nearest_neighbor(&m, 0);
+        two_opt(&mut t, &m);
+        // A second run from the local optimum must find nothing.
+        assert!(!two_opt(&mut t, &m));
+    }
+
+    #[test]
+    fn or_opt_fixed_point() {
+        let pts = scattered(30);
+        let m = DistanceMatrix::from_points(&pts);
+        let mut t = nearest_neighbor(&m, 0);
+        or_opt(&mut t, &m);
+        assert!(!or_opt(&mut t, &m));
+        assert!(t.validate(30));
+    }
+
+    #[test]
+    fn tiny_tours_untouched() {
+        let pts = scattered(3);
+        let m = DistanceMatrix::from_points(&pts);
+        let mut t = nearest_neighbor(&m, 0);
+        let len = t.length;
+        assert!(!two_opt(&mut t, &m));
+        assert!(!or_opt(&mut t, &m));
+        assert_eq!(t.length, len);
+    }
+
+    #[test]
+    fn relocate_helper_keeps_values() {
+        let mut order = vec![0, 1, 2, 3, 4, 5];
+        relocate(&mut order, 1, 2, 4, false); // move [1,2] after value at pos 4
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(order, vec![0, 3, 4, 1, 2, 5]);
+    }
+
+    #[test]
+    fn relocate_reversed() {
+        let mut order = vec![0, 1, 2, 3, 4, 5];
+        relocate(&mut order, 0, 2, 3, true); // move [0,1] reversed after value 3
+        assert_eq!(order, vec![2, 3, 1, 0, 4, 5]);
+    }
+
+    #[test]
+    fn within_cyclic_wraps() {
+        assert!(within_cyclic(0, 4, 3, 5)); // segment {4,0,1}
+        assert!(within_cyclic(4, 4, 3, 5));
+        assert!(within_cyclic(1, 4, 3, 5));
+        assert!(!within_cyclic(2, 4, 3, 5));
+        assert!(!within_cyclic(3, 4, 3, 5));
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimum spanning trees, the double-tree 2-approximation and tour lower
+//! bounds.
+
+use crate::{DistanceMatrix, Tour};
+
+/// An undirected spanning tree given as a parent array (`parent[root] ==
+/// root`) plus its total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanningTree {
+    /// Parent of each vertex in the tree (the root is its own parent).
+    pub parent: Vec<usize>,
+    /// Root vertex.
+    pub root: usize,
+    /// Sum of edge weights.
+    pub weight: f64,
+}
+
+/// Computes a minimum spanning tree with Prim's algorithm, `O(n^2)`.
+///
+/// Returns a tree rooted at vertex `0`. The empty instance yields an empty
+/// tree of weight zero.
+pub fn prim_mst(m: &DistanceMatrix) -> SpanningTree {
+    let n = m.len();
+    if n == 0 {
+        return SpanningTree {
+            parent: Vec::new(),
+            root: 0,
+            weight: 0.0,
+        };
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut parent = vec![0usize; n];
+    best_dist[0] = 0.0;
+    let mut weight = 0.0;
+    for _ in 0..n {
+        let mut v = usize::MAX;
+        let mut vd = f64::INFINITY;
+        for u in 0..n {
+            if !in_tree[u] && best_dist[u] < vd {
+                vd = best_dist[u];
+                v = u;
+            }
+        }
+        in_tree[v] = true;
+        parent[v] = if v == 0 { 0 } else { best_link[v] };
+        weight += if v == 0 { 0.0 } else { vd };
+        for u in 0..n {
+            if !in_tree[u] && m.dist(v, u) < best_dist[u] {
+                best_dist[u] = m.dist(v, u);
+                best_link[u] = v;
+            }
+        }
+    }
+    SpanningTree {
+        parent,
+        root: 0,
+        weight,
+    }
+}
+
+/// MST weight: a classical lower bound on the optimal tour length minus
+/// its longest edge, and within a factor 2 of the optimum overall.
+pub fn mst_lower_bound(m: &DistanceMatrix) -> f64 {
+    prim_mst(m).weight
+}
+
+/// The double-tree heuristic: duplicates the MST edges, takes an Euler
+/// walk and shortcuts repeated vertices. Guaranteed within a factor 2 of
+/// the optimal tour on metric instances.
+pub fn double_tree(m: &DistanceMatrix) -> Tour {
+    let n = m.len();
+    if n == 0 {
+        return Tour::empty();
+    }
+    let tree = prim_mst(m);
+    // Children lists from parent array.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if v != tree.root {
+            children[tree.parent[v]].push(v);
+        }
+    }
+    // Preorder walk == Euler tour with shortcuts.
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![tree.root];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Visit nearer children first for slightly better tours.
+        let mut kids = children[v].clone();
+        kids.sort_by(|&a, &b| m.dist(v, b).total_cmp(&m.dist(v, a)));
+        stack.extend(kids);
+    }
+    Tour::from_order(order, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::held_karp;
+    use bc_geom::Point;
+
+    fn scattered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                Point::new((a * 12.9898).sin() * 100.0, (a * 78.233).cos() * 100.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mst_of_path_points() {
+        // Points on a line: MST weight is the span.
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect();
+        let mst = prim_mst(&DistanceMatrix::from_points(&pts));
+        assert!((mst.weight - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mst_weight_lower_bounds_optimal_tour() {
+        let pts = scattered(12);
+        let m = DistanceMatrix::from_points(&pts);
+        let opt = held_karp(&m);
+        assert!(mst_lower_bound(&m) <= opt.length + 1e-9);
+    }
+
+    #[test]
+    fn double_tree_within_factor_two() {
+        let pts = scattered(12);
+        let m = DistanceMatrix::from_points(&pts);
+        let opt = held_karp(&m);
+        let dt = double_tree(&m);
+        assert!(dt.validate(12));
+        assert!(dt.length <= 2.0 * opt.length + 1e-9);
+        assert!(dt.length >= opt.length - 1e-9);
+    }
+
+    #[test]
+    fn parent_array_is_a_tree() {
+        let pts = scattered(20);
+        let mst = prim_mst(&DistanceMatrix::from_points(&pts));
+        // Every vertex reaches the root without cycles.
+        for mut v in 0..20usize {
+            let mut steps = 0;
+            while v != mst.root {
+                v = mst.parent[v];
+                steps += 1;
+                assert!(steps <= 20, "cycle in parent array");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instances() {
+        let m = DistanceMatrix::from_points(&[]);
+        assert_eq!(prim_mst(&m).weight, 0.0);
+        assert!(double_tree(&m).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Neighbour-list accelerated 2-opt for larger instances.
+//!
+//! Plain 2-opt scans all `O(n^2)` pairs per sweep. For the paper-scale
+//! instances (n <= ~200 stops) that is fine, but the lifetime simulations
+//! and the smart-dust example run thousands of planning rounds; this
+//! variant restricts candidate moves to each city's `k` nearest
+//! neighbours, the standard trick that preserves virtually all of the
+//! improvement at a fraction of the cost.
+
+use crate::{DistanceMatrix, Tour};
+
+/// Per-city nearest-neighbour candidate lists.
+#[derive(Debug, Clone)]
+pub struct NeighborLists {
+    k: usize,
+    lists: Vec<Vec<usize>>,
+}
+
+impl NeighborLists {
+    /// Builds `k`-nearest-neighbour lists for every city. `k` is clamped
+    /// to `n - 1`.
+    pub fn build(m: &DistanceMatrix, k: usize) -> Self {
+        let n = m.len();
+        let k = k.min(n.saturating_sub(1));
+        let mut lists = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            others.sort_by(|&a, &b| m.dist(i, a).total_cmp(&m.dist(i, b)));
+            others.truncate(k);
+            lists.push(others);
+        }
+        NeighborLists { k, lists }
+    }
+
+    /// The candidate list of city `i`.
+    pub fn of(&self, i: usize) -> &[usize] {
+        &self.lists[i]
+    }
+
+    /// The list size used at construction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// 2-opt restricted to neighbour-list candidates. Returns `true` if the
+/// tour improved.
+///
+/// Considers, for each directed tour edge `(a, b)`, replacement partners
+/// `c` among `a`'s nearest neighbours (the classical candidate rule: an
+/// improving 2-opt move must join a city to one of its near neighbours).
+pub fn two_opt_neighbors(tour: &mut Tour, m: &DistanceMatrix, nl: &NeighborLists) -> bool {
+    let n = tour.order.len();
+    if n < 4 {
+        return false;
+    }
+    let mut pos = vec![0usize; n];
+    for (idx, &city) in tour.order.iter().enumerate() {
+        pos[city] = idx;
+    }
+    let mut any = false;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n {
+            let a = tour.order[i];
+            let b = tour.order[(i + 1) % n];
+            let d_ab = m.dist(a, b);
+            for &c in nl.of(a) {
+                // Candidate move: replace (a,b) and (c,d) by (a,c) and (b,d).
+                let j = pos[c];
+                if j == i || (j + 1) % n == i || j == (i + 1) % n {
+                    continue;
+                }
+                let d = tour.order[(j + 1) % n];
+                let d_ac = m.dist(a, c);
+                if d_ac >= d_ab {
+                    // Neighbour lists are sorted; no closer partner left.
+                    break;
+                }
+                let delta = d_ac + m.dist(b, d) - d_ab - m.dist(c, d);
+                if delta < -1e-10 {
+                    // Reverse the segment between b and c (inclusive).
+                    let (lo, hi) = if i < j { (i + 1, j) } else { (j + 1, i) };
+                    tour.order[lo..=hi].reverse();
+                    for (idx, &city) in tour.order.iter().enumerate().take(hi + 1).skip(lo) {
+                        pos[city] = idx;
+                    }
+                    tour.length += delta;
+                    improved = true;
+                    any = true;
+                    break;
+                }
+            }
+        }
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::nearest_neighbor;
+    use crate::improve::two_opt;
+    use bc_geom::Point;
+
+    fn scattered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64;
+                Point::new((a * 12.9898).sin() * 400.0, (a * 78.233).cos() * 400.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lists_are_sorted_and_sized() {
+        let m = DistanceMatrix::from_points(&scattered(30));
+        let nl = NeighborLists::build(&m, 8);
+        assert_eq!(nl.k(), 8);
+        for i in 0..30 {
+            let l = nl.of(i);
+            assert_eq!(l.len(), 8);
+            for w in l.windows(2) {
+                assert!(m.dist(i, w[0]) <= m.dist(i, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_n_minus_one() {
+        let m = DistanceMatrix::from_points(&scattered(5));
+        let nl = NeighborLists::build(&m, 100);
+        assert_eq!(nl.k(), 4);
+    }
+
+    #[test]
+    fn improves_and_stays_valid() {
+        let pts = scattered(120);
+        let m = DistanceMatrix::from_points(&pts);
+        let nl = NeighborLists::build(&m, 10);
+        let mut t = nearest_neighbor(&m, 0);
+        let before = t.length;
+        two_opt_neighbors(&mut t, &m, &nl);
+        assert!(t.validate(120));
+        assert!(t.length < before);
+        assert!((t.recompute_length(&m) - t.length).abs() < 1e-6);
+    }
+
+    #[test]
+    fn close_to_full_two_opt_quality() {
+        let pts = scattered(80);
+        let m = DistanceMatrix::from_points(&pts);
+        let nl = NeighborLists::build(&m, 12);
+        let mut fast = nearest_neighbor(&m, 0);
+        two_opt_neighbors(&mut fast, &m, &nl);
+        let mut full = nearest_neighbor(&m, 0);
+        two_opt(&mut full, &m);
+        assert!(fast.length <= full.length * 1.08, "fast {} vs full {}", fast.length, full.length);
+    }
+
+    #[test]
+    fn tiny_tours_untouched() {
+        let m = DistanceMatrix::from_points(&scattered(3));
+        let nl = NeighborLists::build(&m, 2);
+        let mut t = nearest_neighbor(&m, 0);
+        assert!(!two_opt_neighbors(&mut t, &m, &nl));
+    }
+}

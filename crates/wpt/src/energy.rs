@@ -1,0 +1,191 @@
+//! Mobile-charger energy accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::params;
+
+/// The two-part operating cost of the mobile charger: movement energy per
+/// metre and charging-mode power draw per second of dwell time.
+///
+/// The BTO objective (Eq. 3 of the paper) is exactly
+/// `move_cost * tour_length + charge_draw * total_dwell_time`, which
+/// [`EnergyModel::total_energy`] computes.
+///
+/// # Example
+///
+/// ```
+/// use bc_wpt::EnergyModel;
+///
+/// let e = EnergyModel::paper_sim();
+/// // 100 m of driving plus 60 s of charging:
+/// let j = e.total_energy(100.0, 60.0);
+/// assert!(j > e.movement_energy(100.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    move_cost: f64,
+    charge_draw: f64,
+}
+
+impl EnergyModel {
+    /// Creates an energy model from the movement cost (J/m) and the
+    /// charging-mode draw (W).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both values are finite and non-negative.
+    pub fn new(move_cost_j_per_m: f64, charge_draw_w: f64) -> Self {
+        assert!(
+            move_cost_j_per_m.is_finite() && move_cost_j_per_m >= 0.0,
+            "movement cost must be non-negative, got {move_cost_j_per_m}"
+        );
+        assert!(
+            charge_draw_w.is_finite() && charge_draw_w >= 0.0,
+            "charging draw must be non-negative, got {charge_draw_w}"
+        );
+        EnergyModel {
+            move_cost: move_cost_j_per_m,
+            charge_draw: charge_draw_w,
+        }
+    }
+
+    /// The simulation accounting of Section VI-A: 5.59 J/m movement and
+    /// transmit power plus the 0.9 J/min overhead while charging.
+    pub fn paper_sim() -> Self {
+        EnergyModel::new(params::SIM_MOVE_COST_J_PER_M, params::SIM_CHARGE_DRAW_W)
+    }
+
+    /// The paper's literal accounting, charging only the 0.9 J/min
+    /// overhead per dwell second. Exposed so the substitution documented
+    /// in DESIGN.md §4 can be compared against the literal reading.
+    pub fn paper_literal() -> Self {
+        EnergyModel::new(
+            params::SIM_MOVE_COST_J_PER_M,
+            params::SIM_CHARGING_OVERHEAD_W,
+        )
+    }
+
+    /// The testbed accounting of Section VII.
+    pub fn paper_testbed() -> Self {
+        EnergyModel::new(
+            params::SIM_MOVE_COST_J_PER_M,
+            params::TESTBED_SOURCE_POWER_W + params::SIM_CHARGING_OVERHEAD_W,
+        )
+    }
+
+    /// Movement cost `E_m` (J/m).
+    pub fn move_cost(&self) -> f64 {
+        self.move_cost
+    }
+
+    /// Charging-mode draw `p_c` (W).
+    pub fn charge_draw(&self) -> f64 {
+        self.charge_draw
+    }
+
+    /// Energy to drive `metres` of tour (J).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metres` is negative or not finite.
+    #[inline]
+    pub fn movement_energy(&self, metres: f64) -> f64 {
+        assert!(
+            metres.is_finite() && metres >= 0.0,
+            "tour length must be non-negative"
+        );
+        self.move_cost * metres
+    }
+
+    /// Energy to stay in charging mode for `seconds` (J).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    #[inline]
+    pub fn charging_energy(&self, seconds: f64) -> f64 {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "dwell time must be non-negative"
+        );
+        self.charge_draw * seconds
+    }
+
+    /// Total operating energy for a tour of `metres` with `seconds` of
+    /// cumulative dwell time — the BTO objective.
+    #[inline]
+    pub fn total_energy(&self, metres: f64, seconds: f64) -> f64 {
+        self.movement_energy(metres) + self.charging_energy(seconds)
+    }
+
+    /// Metres of driving whose energy equals one second of charging —
+    /// the exchange rate BC-OPT uses when trading tour length against
+    /// dwell time.
+    pub fn metres_per_charge_second(&self) -> f64 {
+        if self.move_cost == 0.0 {
+            f64::INFINITY
+        } else {
+            self.charge_draw / self.move_cost
+        }
+    }
+}
+
+impl fmt::Display for EnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E_m = {:.3} J/m, p_c = {:.3} W",
+            self.move_cost, self.charge_draw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sim_values() {
+        let e = EnergyModel::paper_sim();
+        assert!((e.move_cost() - 5.59).abs() < 1e-12);
+        assert!((e.charge_draw() - 1.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let e = EnergyModel::new(2.0, 4.0);
+        assert_eq!(e.movement_energy(10.0), 20.0);
+        assert_eq!(e.charging_energy(3.0), 12.0);
+        assert_eq!(e.total_energy(10.0, 3.0), 32.0);
+    }
+
+    #[test]
+    fn literal_accounting_is_cheaper_per_second() {
+        let lit = EnergyModel::paper_literal();
+        let sim = EnergyModel::paper_sim();
+        assert!(lit.charge_draw() < sim.charge_draw());
+        assert_eq!(lit.move_cost(), sim.move_cost());
+    }
+
+    #[test]
+    fn exchange_rate() {
+        let e = EnergyModel::new(2.0, 4.0);
+        assert_eq!(e.metres_per_charge_second(), 2.0);
+        let free_move = EnergyModel::new(0.0, 4.0);
+        assert_eq!(free_move.metres_per_charge_second(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn negative_move_cost_panics() {
+        let _ = EnergyModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tour length must be non-negative")]
+    fn negative_length_panics() {
+        let _ = EnergyModel::paper_sim().movement_energy(-1.0);
+    }
+}

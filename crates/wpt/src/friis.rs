@@ -1,0 +1,303 @@
+//! The quadratic-attenuation charging model (Eq. 1 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::law::Law;
+use crate::params;
+
+/// The wireless charging model: an attenuation [`Law`] scaled by the
+/// charger's RF source power.
+///
+/// The default law is the paper's empirical WISP-reader fit
+/// `p_r(d) = alpha / (d + beta)^2 * p_src`, where `alpha` folds together
+/// the antenna gains, wavelength, polarization loss and rectifier
+/// efficiency of the Friis equation and `beta` adjusts it for short
+/// distances. Linear and table-calibrated laws are available through
+/// [`ChargingModel::linear`] and [`ChargingModel::from_table`] — the
+/// planners only require monotone non-increasing received power.
+///
+/// # Example
+///
+/// ```
+/// use bc_wpt::ChargingModel;
+///
+/// let m = ChargingModel::paper_sim();
+/// let near = m.received_power(1.0);
+/// let far = m.received_power(20.0);
+/// assert!(near > far);
+/// // Quadratic: moving from d to 2d+beta more than quarters the power.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargingModel {
+    law: Law,
+    source_power: f64,
+}
+
+impl ChargingModel {
+    /// Creates a charging model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 0`, `beta > 0` and `source_power > 0` and
+    /// all are finite.
+    pub fn new(alpha: f64, beta: f64, source_power: f64) -> Self {
+        ChargingModel::with_law(Law::Quadratic { alpha, beta }, source_power)
+    }
+
+    /// Creates a model from an arbitrary attenuation law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the law fails validation or `source_power` is not
+    /// positive and finite.
+    pub fn with_law(law: Law, source_power: f64) -> Self {
+        if let Err(reason) = law.validate() {
+            panic!("invalid attenuation law: {reason}");
+        }
+        assert!(
+            source_power.is_finite() && source_power > 0.0,
+            "source power must be positive, got {source_power}"
+        );
+        ChargingModel { law, source_power }
+    }
+
+    /// Creates a linear fall-off model `max(p0 - slope * d, 0) * p_src`
+    /// (the He et al. energy-provisioning law).
+    pub fn linear(p0: f64, slope: f64, source_power: f64) -> Self {
+        ChargingModel::with_law(Law::Linear { p0, slope }, source_power)
+    }
+
+    /// Creates a model from measured `(distance, normalized power)`
+    /// calibration points (piecewise-linear, zero past the last point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, longer than
+    /// [`crate::law::TABLE_MAX_POINTS`], not sorted by distance, or not
+    /// monotone non-increasing in power.
+    pub fn from_table(points: &[(f64, f64)], source_power: f64) -> Self {
+        assert!(
+            points.len() <= crate::law::TABLE_MAX_POINTS,
+            "at most {} table points supported",
+            crate::law::TABLE_MAX_POINTS
+        );
+        let mut arr = [(0.0, 0.0); crate::law::TABLE_MAX_POINTS];
+        arr[..points.len()].copy_from_slice(points);
+        ChargingModel::with_law(
+            Law::Table {
+                points: arr,
+                len: points.len(),
+            },
+            source_power,
+        )
+    }
+
+    /// The simulation parameters of Section VI-A: the fitted
+    /// `p_r(d) = 36/(d + 30)^2` watts. The fit already absorbs the
+    /// reader's transmit power, so the source multiplier is 1
+    /// (see [`params::SIM_FITTED_SOURCE_W`]).
+    pub fn paper_sim() -> Self {
+        ChargingModel::new(
+            params::SIM_ALPHA,
+            params::SIM_BETA,
+            params::SIM_FITTED_SOURCE_W,
+        )
+    }
+
+    /// The testbed parameters of Section VII (Powercast TX91501).
+    pub fn paper_testbed() -> Self {
+        ChargingModel::new(
+            params::TESTBED_ALPHA,
+            params::TESTBED_BETA,
+            params::TESTBED_SOURCE_POWER_W,
+        )
+    }
+
+    /// The attenuation law.
+    pub fn law(&self) -> Law {
+        self.law
+    }
+
+    /// The `alpha` constant, if the law is quadratic.
+    pub fn alpha(&self) -> Option<f64> {
+        match self.law {
+            Law::Quadratic { alpha, .. } => Some(alpha),
+            _ => None,
+        }
+    }
+
+    /// The `beta` short-distance adjustment, if the law is quadratic.
+    pub fn beta(&self) -> Option<f64> {
+        match self.law {
+            Law::Quadratic { beta, .. } => Some(beta),
+            _ => None,
+        }
+    }
+
+    /// The RF source power `p_src` (W).
+    pub fn source_power(&self) -> f64 {
+        self.source_power
+    }
+
+    /// Power received by a sensor at distance `d` metres (W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or not finite.
+    #[inline]
+    pub fn received_power(&self, d: f64) -> f64 {
+        assert!(d.is_finite() && d >= 0.0, "distance must be non-negative");
+        self.law.gain(d) * self.source_power
+    }
+
+    /// Time (s) to deliver `energy` joules to a sensor at distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative or `d` invalid.
+    #[inline]
+    pub fn charge_time(&self, d: f64, energy: f64) -> f64 {
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "energy must be non-negative"
+        );
+        energy / self.received_power(d)
+    }
+
+    /// Energy (J) delivered to a sensor at distance `d` over `seconds`.
+    #[inline]
+    pub fn delivered_energy(&self, d: f64, seconds: f64) -> f64 {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "duration must be non-negative"
+        );
+        self.received_power(d) * seconds
+    }
+
+    /// The largest distance at which the received power still reaches
+    /// `power` watts, or `None` when even `d = 0` is insufficient.
+    pub fn max_distance_for_power(&self, power: f64) -> Option<f64> {
+        assert!(power.is_finite() && power > 0.0, "power must be positive");
+        self.law.max_distance_for_gain(power / self.source_power)
+    }
+
+    /// End-to-end efficiency at distance `d` (received / source power).
+    pub fn efficiency(&self, d: f64) -> f64 {
+        self.received_power(d) / self.source_power
+    }
+}
+
+impl fmt::Display for ChargingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.law {
+            Law::Quadratic { alpha, beta } => write!(
+                f,
+                "p_r(d) = {:.3}/(d + {:.3})^2 * {:.3} W",
+                alpha, beta, self.source_power
+            ),
+            Law::Linear { p0, slope } => write!(
+                f,
+                "p_r(d) = max({:.4} - {:.4} d, 0) * {:.3} W",
+                p0, slope, self.source_power
+            ),
+            Law::Table { len, .. } => {
+                write!(f, "p_r(d): {len}-point table * {:.3} W", self.source_power)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_decay() {
+        let m = ChargingModel::paper_sim();
+        // p(d) * (d+beta)^2 is constant.
+        let k0 = m.received_power(0.0) * 30.0 * 30.0;
+        let k10 = m.received_power(10.0) * 40.0 * 40.0;
+        assert!((k0 - k10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sim_magnitudes() {
+        let m = ChargingModel::paper_sim();
+        // At contact: 36/900 = 0.04 W.
+        assert!((m.received_power(0.0) - 0.04).abs() < 1e-12);
+        // 2 J at contact takes 50 s (the WISP-scale charging delay).
+        assert!((m.charge_time(0.0, 2.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_time_scales_with_energy_and_distance() {
+        let m = ChargingModel::paper_sim();
+        assert!(m.charge_time(0.0, 2.0) < m.charge_time(10.0, 2.0));
+        assert!((m.charge_time(5.0, 4.0) - 2.0 * m.charge_time(5.0, 2.0)).abs() < 1e-9);
+        assert_eq!(m.charge_time(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn delivered_energy_inverts_charge_time() {
+        let m = ChargingModel::paper_sim();
+        let t = m.charge_time(12.0, 2.0);
+        assert!((m.delivered_energy(12.0, t) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_distance_for_power_round_trip() {
+        let m = ChargingModel::paper_sim();
+        let p = m.received_power(25.0);
+        let d = m.max_distance_for_power(p).unwrap();
+        assert!((d - 25.0).abs() < 1e-9);
+        // Impossible power level.
+        assert!(m.max_distance_for_power(1e9).is_none());
+    }
+
+    #[test]
+    fn efficiency_below_unity() {
+        let m = ChargingModel::paper_sim();
+        assert!(m.efficiency(0.0) < 1.0);
+        assert!(m.efficiency(100.0) < m.efficiency(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_panics() {
+        let _ = ChargingModel::new(0.0, 30.0, 3.0);
+    }
+
+    #[test]
+    fn linear_law_end_to_end() {
+        let m = ChargingModel::linear(0.1, 0.01, 2.0);
+        assert!((m.received_power(0.0) - 0.2).abs() < 1e-12);
+        assert!((m.received_power(5.0) - 0.1).abs() < 1e-12);
+        assert_eq!(m.received_power(20.0), 0.0);
+        assert!((m.charge_time(5.0, 1.0) - 10.0).abs() < 1e-9);
+        assert!(m.alpha().is_none());
+    }
+
+    #[test]
+    fn table_law_end_to_end() {
+        let m = ChargingModel::from_table(&[(0.0, 0.04), (10.0, 0.01)], 1.0);
+        assert!((m.received_power(5.0) - 0.025).abs() < 1e-12);
+        let d = m.max_distance_for_power(0.02).unwrap();
+        assert!((m.received_power(d) - 0.02).abs() < 1e-9);
+        assert!(!format!("{m}").is_empty());
+    }
+
+    #[test]
+    fn quadratic_accessors_present() {
+        let m = ChargingModel::paper_sim();
+        assert_eq!(m.alpha(), Some(36.0));
+        assert_eq!(m.beta(), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be non-negative")]
+    fn negative_distance_panics() {
+        let _ = ChargingModel::paper_sim().received_power(-1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Wireless power transfer model for bundle charging.
+//!
+//! Implements the paper's empirical WISP-reader charging model (Eq. 1)
+//!
+//! ```text
+//! p_r = alpha / (d + beta)^2 * p_src
+//! ```
+//!
+//! together with the mobile charger's two-part energy accounting: movement
+//! energy (`E_m` joules per metre of tour) and charging energy (`p_c`
+//! joules per second while parked and transmitting).
+//!
+//! # Example
+//!
+//! ```
+//! use bc_wpt::{ChargingModel, EnergyModel};
+//!
+//! let model = ChargingModel::paper_sim();
+//! // Received power decays quadratically with distance.
+//! assert!(model.received_power(0.0) > model.received_power(10.0));
+//!
+//! // Time to deliver 2 J to a sensor 10 m away:
+//! let t = model.charge_time(10.0, 2.0);
+//! assert!(t > 0.0);
+//!
+//! let energy = EnergyModel::paper_sim();
+//! let total = energy.movement_energy(100.0) + energy.charging_energy(t);
+//! assert!(total > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod friis;
+pub mod law;
+pub mod params;
+
+pub use energy::EnergyModel;
+pub use friis::ChargingModel;
+pub use law::Law;

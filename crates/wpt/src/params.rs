@@ -1,0 +1,129 @@
+//! Named parameter sets from the paper.
+//!
+//! Two environments appear in the evaluation:
+//!
+//! * **Simulation** (Section VI-A): a 1000 m x 1000 m field,
+//!   `alpha = 36`, `beta = 30` (fitted from the experiments of Fu et al.,
+//!   INFOCOM'13), a 2 J per-sensor charging requirement, movement cost
+//!   5.59 J/m (from Wang et al., SECON'14) and a 0.9 J/min auxiliary draw
+//!   while the charger operates in charging mode.
+//! * **Testbed** (Section VII): a Powercast TX91501 transmitter (3 W RF at
+//!   915 MHz, wavelength 0.33 m) on a robot car moving at 0.3 m/s, six
+//!   P2110-equipped sensors in a 5 m x 5 m office, per-sensor requirement
+//!   4 mJ.
+
+/// Friis-fit numerator constant `alpha` used in the simulations (m^2).
+pub const SIM_ALPHA: f64 = 36.0;
+
+/// Friis short-distance adjustment `beta` used in the simulations (m).
+pub const SIM_BETA: f64 = 30.0;
+
+/// Per-sensor charging requirement `delta` in the simulations (J).
+pub const SIM_DELTA_J: f64 = 2.0;
+
+/// Mobile-charger movement cost `E_m` (J per metre).
+pub const SIM_MOVE_COST_J_PER_M: f64 = 5.59;
+
+/// RF source power of the charger (W). The paper's testbed transmitter
+/// (TX91501) outputs 3 W, which is also the `p_c` entering Eq. 1.
+pub const SIM_SOURCE_POWER_W: f64 = 3.0;
+
+/// Effective source multiplier for the simulation charging model.
+///
+/// The `alpha = 36, beta = 30` fit is taken from the WISP experiments of
+/// Fu et al. (INFOCOM'13), where the measured quantity is the *received*
+/// power itself: `p_r(d) = 36/(d + 30)^2` watts already absorbs the
+/// reader's transmit power (a 2 J recharge then takes 50 s at contact and
+/// ~89 s at 10 m, the same order as the WISP charging delays the paper
+/// quotes). Multiplying by a further 3 W would make charging three times
+/// too cheap and erase the interior-optimal bundle radius of Figs. 6(b)
+/// and 14. See DESIGN.md §4.
+pub const SIM_FITTED_SOURCE_W: f64 = 1.0;
+
+/// Auxiliary electronics draw while the charger operates in charging mode:
+/// the paper's "0.9 J/min (5 mA x 3 V x 60 s)" (W).
+pub const SIM_CHARGING_OVERHEAD_W: f64 = 0.9 / 60.0;
+
+/// Total power the charger draws per second of dwell time (W).
+///
+/// The draw must equal the charging model's source power (plus the
+/// auxiliary overhead): in Eq. 3 the same `p_c` drives both the received
+/// power `p_r = alpha/(d+beta)^2 * p_c` and the per-second charging cost
+/// `p_c * t_i`, which makes the charging *energy* for a sensor equal to
+/// `delta * (d+beta)^2 / alpha` joules regardless of the transmit power —
+/// the demanded energy divided by the link efficiency. The simulation
+/// model folds the transmit power into the fitted `alpha`
+/// ([`SIM_FITTED_SOURCE_W`] = 1), so the matching draw is 1 W plus the
+/// 0.9 J/min overhead. See DESIGN.md §4.
+pub const SIM_CHARGE_DRAW_W: f64 = SIM_FITTED_SOURCE_W + SIM_CHARGING_OVERHEAD_W;
+
+/// Side length of the simulated deployment field (m).
+pub const SIM_FIELD_SIDE_M: f64 = 1000.0;
+
+/// Testbed transmit power (W) — Powercast TX91501.
+pub const TESTBED_SOURCE_POWER_W: f64 = 3.0;
+
+/// Testbed RF wavelength (m) at the 915 MHz charging frequency.
+pub const TESTBED_WAVELENGTH_M: f64 = 0.33;
+
+/// Testbed robot-car speed (m/s).
+pub const TESTBED_CAR_SPEED_M_PER_S: f64 = 0.3;
+
+/// Testbed per-sensor energy requirement (J) — 4 mJ, from the fast
+/// interference-aware scheduling experiments the paper cites.
+pub const TESTBED_DELTA_J: f64 = 0.004;
+
+/// Testbed field side length (m).
+pub const TESTBED_FIELD_SIDE_M: f64 = 5.0;
+
+/// Friis-fit `alpha` for the testbed's metre-scale distances.
+///
+/// Physical Friis at 915 MHz (wavelength 0.33 m) with the TX91501's
+/// transmit gain, the P2110 dipole's receive gain and a ~50 % rectifier
+/// gives a received power around 2 mW at 1 m from the 3 W source:
+/// `p_r(1 m) = alpha / (1 + beta)^2 * 3 ~ 2 mW` with `alpha = 1.15e-3`.
+/// The quadratic fall-off across the 5 m room is then steep enough that
+/// parking far from a sensor costs real dwell time, matching the
+/// moderate (not total) tour-shortening gains of Fig. 16.
+pub const TESTBED_ALPHA: f64 = 1.15e-3;
+
+/// Friis short-distance adjustment for the testbed (m).
+pub const TESTBED_BETA: f64 = 0.3;
+
+/// The six sensor coordinates of the testbed (m), as published.
+pub const TESTBED_SENSOR_COORDS: [(f64, f64); 6] = [
+    (1.0, 1.0),
+    (1.0, 3.0),
+    (1.0, 4.0),
+    (2.0, 4.0),
+    (4.0, 4.0),
+    (4.0, 1.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_published_rate() {
+        // 0.9 J per minute.
+        assert!((SIM_CHARGING_OVERHEAD_W * 60.0 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_matches_fitted_source_plus_overhead() {
+        assert!((SIM_CHARGE_DRAW_W - SIM_FITTED_SOURCE_W - SIM_CHARGING_OVERHEAD_W).abs() < 1e-12);
+        // The invariance argument: with the draw tied to the model's
+        // source power, charging energy is delta*(d+beta)^2/alpha
+        // regardless of transmit power.
+        assert!(SIM_CHARGE_DRAW_W > SIM_FITTED_SOURCE_W, "overhead must be positive");
+    }
+
+    #[test]
+    fn testbed_coords_inside_field() {
+        for (x, y) in TESTBED_SENSOR_COORDS {
+            assert!((0.0..=TESTBED_FIELD_SIDE_M).contains(&x));
+            assert!((0.0..=TESTBED_FIELD_SIDE_M).contains(&y));
+        }
+    }
+}

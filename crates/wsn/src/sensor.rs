@@ -1,0 +1,105 @@
+//! Sensors: identity, position and energy demand.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bc_geom::Point;
+
+/// Stable index of a sensor within its network.
+///
+/// A newtype so sensor indices cannot be confused with bundle or tour
+/// indices.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SensorId(pub usize);
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for SensorId {
+    fn from(i: usize) -> Self {
+        SensorId(i)
+    }
+}
+
+/// A rechargeable sensor node.
+///
+/// # Example
+///
+/// ```
+/// use bc_wsn::{Sensor, SensorId};
+/// use bc_geom::Point;
+///
+/// let s = Sensor::new(SensorId(0), Point::new(10.0, 20.0), 2.0);
+/// assert_eq!(s.demand, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Index of the sensor within its network.
+    pub id: SensorId,
+    /// Deployed position (m).
+    pub pos: Point,
+    /// Minimum energy the charging tour must deliver (J) — the paper's
+    /// per-sensor threshold `delta`.
+    pub demand: f64,
+}
+
+impl Sensor {
+    /// Creates a sensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative, not finite, or the position is not
+    /// finite.
+    pub fn new(id: SensorId, pos: Point, demand: f64) -> Self {
+        assert!(pos.is_finite(), "sensor position must be finite");
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "sensor demand must be non-negative, got {demand}"
+        );
+        Sensor { id, pos, demand }
+    }
+}
+
+impl fmt::Display for Sensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} (delta={} J)", self.id, self.pos, self.demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let s = Sensor::new(SensorId(3), Point::new(1.0, 2.0), 2.0);
+        assert_eq!(s.id, SensorId(3));
+        assert!(format!("{s}").contains("s3"));
+    }
+
+    #[test]
+    fn id_conversion_and_order() {
+        let a: SensorId = 1usize.into();
+        let b: SensorId = 2usize.into();
+        assert!(a < b);
+        assert_eq!(a, SensorId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be non-negative")]
+    fn negative_demand_panics() {
+        let _ = Sensor::new(SensorId(0), Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "position must be finite")]
+    fn nan_position_panics() {
+        let _ = Sensor::new(SensorId(0), Point::new(f64::NAN, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # Bundle Charging
+//!
+//! A complete Rust implementation of *“Bundle Charging: Wireless Charging
+//! Energy Minimization in Dense Wireless Sensor Networks”* (ICDCS 2019):
+//! charging-bundle generation, energy-minimizing trajectory planning for a
+//! mobile wireless charger, the baselines the paper compares against, a
+//! simulated Powercast testbed, and an experiment harness that regenerates
+//! every figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! namespace so applications can depend on a single package.
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`geom`] | `bc-geom` | points, disks, smallest enclosing disk (MinDisk), ellipse–circle tangency (Theorems 4–5) |
+//! | [`tsp`] | `bc-tsp` | tour construction, 2-opt / Or-opt, Held–Karp, MST bounds |
+//! | [`setcover`] | `bc-setcover` | greedy (`ln n + 1`) and exact set cover |
+//! | [`wpt`] | `bc-wpt` | the quadratic charging model (Eq. 1) and charger energy accounting |
+//! | [`wsn`] | `bc-wsn` | sensors, deployments, spatial index |
+//! | [`core`] | `bc-core` | bundle generation (OBG) and the SC / CSS / BC / BC-OPT planners (BTO) |
+//! | [`sim`] | `bc-sim` | the per-figure experiment harness |
+//! | [`testbed`] | `bc-testbed` | the simulated robot-car Powercast testbed |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bundle_charging::prelude::*;
+//!
+//! // Deploy 60 sensors in a 300 m x 300 m field, demanding 2 J each.
+//! let net = deploy::uniform(60, Aabb::square(300.0), 2.0, 42);
+//!
+//! // Plan a charging tour with bundle radius 25 m.
+//! let cfg = PlannerConfig::paper_sim(25.0);
+//! let plan = planner::bundle_charging_opt(&net, &cfg);
+//!
+//! // Every sensor is fully charged, and the cost is itemised.
+//! assert!(plan.validate(&net, &cfg.charging).is_ok());
+//! let m = plan.metrics(&cfg.energy);
+//! println!("{} stops, {:.0} m, {:.0} J", m.num_stops, m.tour_length_m, m.total_energy_j);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bc_core as core;
+pub use bc_geom as geom;
+pub use bc_setcover as setcover;
+pub use bc_sim as sim;
+pub use bc_testbed as testbed;
+pub use bc_tsp as tsp;
+pub use bc_wpt as wpt;
+pub use bc_wsn as wsn;
+
+/// The types most applications need, importable in one line.
+pub mod prelude {
+    pub use bc_core::planner::{self, Algorithm};
+    pub use bc_core::{
+        generate_bundles, BundleStrategy, ChargingBundle, ChargingPlan, DwellPolicy, Metrics,
+        PlannerConfig, Stop,
+    };
+    pub use bc_geom::{Aabb, Disk, Point};
+    pub use bc_wpt::{ChargingModel, EnergyModel};
+    pub use bc_wsn::{deploy, Network, Sensor, SensorId};
+}

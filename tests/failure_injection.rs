@@ -1,0 +1,129 @@
+//! Degenerate and adversarial inputs: the planner stack must stay
+//! correct when geometry collapses.
+
+use bundle_charging::prelude::*;
+use bundle_charging::testbed::TestbedRig;
+
+fn assert_all_feasible(net: &Network, cfg: &PlannerConfig) {
+    for algo in Algorithm::ALL {
+        let plan = planner::run(algo, net, cfg);
+        plan.validate(net, &cfg.charging)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+    }
+}
+
+#[test]
+fn single_sensor() {
+    let net = deploy::from_coords(&[(50.0, 50.0)], Aabb::square(100.0), 2.0);
+    assert_all_feasible(&net, &PlannerConfig::paper_sim(10.0));
+}
+
+#[test]
+fn two_coincident_sensors() {
+    let net = deploy::from_coords(&[(5.0, 5.0), (5.0, 5.0)], Aabb::square(10.0), 2.0);
+    let cfg = PlannerConfig::paper_sim(3.0);
+    assert_all_feasible(&net, &cfg);
+    // They must share one bundle at any positive radius.
+    let bundles = generate_bundles(&net, 0.5, BundleStrategy::Greedy);
+    assert_eq!(bundles.len(), 1);
+}
+
+#[test]
+fn many_duplicates() {
+    let coords = vec![(10.0, 10.0); 25];
+    let net = deploy::from_coords(&coords, Aabb::square(20.0), 2.0);
+    let cfg = PlannerConfig::paper_sim(5.0);
+    let plan = planner::bundle_charging(&net, &cfg);
+    assert_eq!(plan.num_charging_stops(), 1);
+    assert!(plan.validate(&net, &cfg.charging).is_ok());
+}
+
+#[test]
+fn collinear_sensors() {
+    let coords: Vec<(f64, f64)> = (0..30).map(|i| (i as f64 * 10.0, 50.0)).collect();
+    let net = deploy::from_coords(&coords, Aabb::square(300.0), 2.0);
+    for r in [1.0, 12.0, 100.0] {
+        assert_all_feasible(&net, &PlannerConfig::paper_sim(r));
+    }
+}
+
+#[test]
+fn sensors_on_field_corners() {
+    let net = deploy::from_coords(
+        &[(0.0, 0.0), (300.0, 0.0), (0.0, 300.0), (300.0, 300.0)],
+        Aabb::square(300.0),
+        2.0,
+    );
+    assert_all_feasible(&net, &PlannerConfig::paper_sim(20.0));
+}
+
+#[test]
+fn zero_demand_sensors_need_no_dwell() {
+    let net = deploy::from_coords(&[(1.0, 1.0), (2.0, 2.0)], Aabb::square(10.0), 0.0);
+    let cfg = PlannerConfig::paper_sim(5.0);
+    let plan = planner::bundle_charging(&net, &cfg);
+    assert!(plan.validate(&net, &cfg.charging).is_ok());
+    assert_eq!(plan.total_dwell(), 0.0);
+}
+
+#[test]
+fn mixed_demands_respected() {
+    // One sensor demands 10x the energy; the shared dwell must cover it.
+    let mut sensors = vec![
+        Sensor::new(SensorId(0), bundle_charging::geom::Point::new(10.0, 10.0), 2.0),
+        Sensor::new(SensorId(1), bundle_charging::geom::Point::new(12.0, 10.0), 20.0),
+    ];
+    sensors.push(Sensor::new(
+        SensorId(2),
+        bundle_charging::geom::Point::new(11.0, 11.0),
+        0.5,
+    ));
+    let net = Network::new(sensors, Aabb::square(50.0), bundle_charging::geom::Point::ORIGIN);
+    let cfg = PlannerConfig::paper_sim(5.0);
+    let plan = planner::bundle_charging(&net, &cfg);
+    plan.validate(&net, &cfg.charging).unwrap();
+    // The dwell is driven by the heavy sensor, not the average.
+    let stop = &plan.stops[0];
+    let d = stop.bundle.member_distance(1, &net);
+    assert!(cfg.charging.delivered_energy(d, stop.dwell) >= 20.0 - 1e-9);
+}
+
+#[test]
+fn giant_radius_single_stop() {
+    let net = deploy::uniform(50, Aabb::square(100.0), 2.0, 3);
+    let cfg = PlannerConfig::paper_sim(1e4);
+    let plan = planner::bundle_charging(&net, &cfg);
+    assert_eq!(plan.num_charging_stops(), 1);
+    assert!(plan.validate(&net, &cfg.charging).is_ok());
+}
+
+#[test]
+fn noisy_rig_with_dwell_margin_still_charges() {
+    // A 15% dwell safety margin absorbs 10% multiplicative noise.
+    let net = deploy::uniform(10, Aabb::square(50.0), 2.0, 17);
+    let cfg = PlannerConfig::paper_sim(10.0);
+    let mut plan = planner::bundle_charging(&net, &cfg);
+    for stop in &mut plan.stops {
+        stop.dwell *= 1.15;
+    }
+    let report = TestbedRig::new(&net, &cfg)
+        .with_noise(0.10, 99)
+        .with_tick(1.0)
+        .execute(&plan);
+    assert!(
+        report.all_fully_charged(),
+        "worst fraction {}",
+        report.fraction_charged()
+    );
+}
+
+#[test]
+fn css_handles_chain_topology() {
+    // A long chain where Combine merges pairs and Skip can fire.
+    let coords: Vec<(f64, f64)> = (0..12).map(|i| (i as f64 * 8.0, 0.0)).collect();
+    let net = deploy::from_coords(&coords, Aabb::square(100.0), 2.0);
+    let cfg = PlannerConfig::paper_sim(9.0);
+    let plan = planner::css(&net, &cfg);
+    plan.validate(&net, &cfg.charging).unwrap();
+    assert!(plan.num_charging_stops() < 12, "no combining happened");
+}
