@@ -1,9 +1,57 @@
 //! Planner configuration.
 
+use std::fmt;
+
 use bc_tsp::SolveConfig;
 use bc_wpt::{ChargingModel, EnergyModel};
 
 use crate::generation::BundleStrategy;
+
+/// A [`PlannerConfig`] field was rejected by [`PlannerConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The bundle radius is not a positive finite number.
+    BadBundleRadius {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The charging model's source power is not a positive finite number.
+    BadChargePower {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The charging model's decay law is itself invalid.
+    BadChargingLaw {
+        /// Explanation from [`bc_wpt::Law::validate`].
+        reason: String,
+    },
+    /// A count field that must be positive is zero.
+    EmptyField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadBundleRadius { value } => {
+                write!(f, "bundle_radius must be positive and finite, got {value}")
+            }
+            ConfigError::BadChargePower { value } => {
+                write!(f, "charging source power must be positive and finite, got {value}")
+            }
+            ConfigError::BadChargingLaw { reason } => {
+                write!(f, "invalid charging law: {reason}")
+            }
+            ConfigError::EmptyField { field } => {
+                write!(f, "{field} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How a bundle's dwell time is determined.
 ///
@@ -95,11 +143,88 @@ impl PlannerConfig {
             dwell_policy: DwellPolicy::default(),
         }
     }
+
+    /// Checks that the configuration can drive a planner at all: the
+    /// bundle radius is a positive finite number, the charging model has
+    /// positive finite source power and a valid decay law, and the
+    /// BC-OPT sweep counts are non-zero.
+    ///
+    /// [`crate::planner::try_run`] calls this before dispatching, so a
+    /// bad configuration surfaces as a typed error instead of a `NaN`
+    /// plan or a panic deep inside a planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.bundle_radius.is_finite() || self.bundle_radius <= 0.0 {
+            return Err(ConfigError::BadBundleRadius {
+                value: self.bundle_radius,
+            });
+        }
+        let power = self.charging.source_power();
+        if !power.is_finite() || power <= 0.0 {
+            return Err(ConfigError::BadChargePower { value: power });
+        }
+        self.charging
+            .law()
+            .validate()
+            .map_err(|reason| ConfigError::BadChargingLaw { reason })?;
+        if self.opt_distance_steps == 0 {
+            return Err(ConfigError::EmptyField {
+                field: "opt_distance_steps",
+            });
+        }
+        if self.opt_max_rounds == 0 {
+            return Err(ConfigError::EmptyField {
+                field: "opt_max_rounds",
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(PlannerConfig::paper_sim(30.0).validate().is_ok());
+        assert!(PlannerConfig::paper_testbed(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_radius() {
+        for r in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = PlannerConfig::paper_sim(r);
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::BadBundleRadius { .. })),
+                "radius {r} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_sweep_fields() {
+        let mut cfg = PlannerConfig::paper_sim(10.0);
+        cfg.opt_distance_steps = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::EmptyField {
+                field: "opt_distance_steps"
+            })
+        );
+        let mut cfg = PlannerConfig::paper_sim(10.0);
+        cfg.opt_max_rounds = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::EmptyField { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = PlannerConfig::paper_sim(-3.0).validate().unwrap_err();
+        assert!(err.to_string().contains("-3"));
+    }
 
     #[test]
     fn presets_differ() {

@@ -1,0 +1,1050 @@
+//! Fault-injected execution of charging plans.
+//!
+//! The planners in this crate produce *plans*; this module runs them.
+//! An [`Executor`] steps a [`ChargingPlan`] stop by stop against the
+//! concrete [`crate::faults::FaultSchedule`] of a round, reacting to
+//! each fault with a pluggable [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::SkipAndContinue`] — drop dead sensors from their
+//!   stops (dwell shrinks) and abandon stops whose charge attempts are
+//!   exhausted, leaving their live members stranded;
+//! * [`RecoveryPolicy::ReplanRemaining`] — on a mid-tour death, rebuild
+//!   the not-yet-visited remainder with [`crate::replan::remove_sensor`]
+//!   (anchors recentre, dissolved singletons drop out of the tour);
+//! * [`RecoveryPolicy::ReturnToBase`] — on any fault, divert to the base
+//!   station and re-enter the remainder as base-anchored sorties via
+//!   [`crate::sortie::split_into_sorties`]; a base visit also resets a
+//!   stop's transient charge failures, so no live sensor is stranded at
+//!   the price of extra mileage.
+//!
+//! Execution is deterministic: the same `(plan, FaultModel, round,
+//! policy)` produces a byte-identical [`ExecutionReport`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use bc_geom::Point;
+use bc_wsn::{Network, Sensor};
+
+use crate::config::ConfigError;
+use crate::faults::{FaultModel, FaultModelError, FaultSchedule};
+use crate::plan::{ChargingPlan, PlanError, Stop};
+use crate::replan;
+use crate::sortie::{split_into_sorties, SortieError};
+use crate::{ChargingBundle, PlannerConfig};
+
+/// How the executor reacts to faults that invalidate part of the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Drop what broke and keep driving the original tour.
+    SkipAndContinue,
+    /// Rebuild the unvisited remainder of the tour after each death.
+    ReplanRemaining,
+    /// Divert to the base station and re-enter the remainder as sorties.
+    ReturnToBase,
+}
+
+impl RecoveryPolicy {
+    /// All policies, in escalating order of recovery effort.
+    pub const ALL: [RecoveryPolicy; 3] = [
+        RecoveryPolicy::SkipAndContinue,
+        RecoveryPolicy::ReplanRemaining,
+        RecoveryPolicy::ReturnToBase,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::SkipAndContinue => "skip",
+            RecoveryPolicy::ReplanRemaining => "replan",
+            RecoveryPolicy::ReturnToBase => "return-to-base",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Execution failed before the first stop: the inputs themselves are
+/// unusable (faults never make execution *error* — they make it recover).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan does not validate against the network.
+    Plan(PlanError),
+    /// The planner configuration is invalid.
+    Config(ConfigError),
+    /// The fault model is invalid.
+    Faults(FaultModelError),
+    /// The remainder could not be split into sorties under the
+    /// executor's sortie budget (only [`RecoveryPolicy::ReturnToBase`]).
+    Sortie(SortieError),
+    /// The charger speed is not a positive finite number.
+    BadSpeed {
+        /// The rejected speed (m/s).
+        value: f64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Plan(e) => write!(f, "invalid plan: {e}"),
+            ExecError::Config(e) => write!(f, "invalid configuration: {e}"),
+            ExecError::Faults(e) => write!(f, "invalid fault model: {e}"),
+            ExecError::Sortie(e) => write!(f, "recovery sortie split failed: {e}"),
+            ExecError::BadSpeed { value } => {
+                write!(f, "charger speed must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Plan(e) => Some(e),
+            ExecError::Config(e) => Some(e),
+            ExecError::Faults(e) => Some(e),
+            ExecError::Sortie(e) => Some(e),
+            ExecError::BadSpeed { .. } => None,
+        }
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
+    }
+}
+
+impl From<ConfigError> for ExecError {
+    fn from(e: ConfigError) -> Self {
+        ExecError::Config(e)
+    }
+}
+
+impl From<FaultModelError> for ExecError {
+    fn from(e: FaultModelError) -> Self {
+        ExecError::Faults(e)
+    }
+}
+
+/// One executed leg + stop of the realized tour.
+///
+/// `plan_stop` ties the entry back to the plan's stop list; `None` marks
+/// a recovery visit to the base station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedStop {
+    /// Index of the stop in the original plan (`None` for base visits).
+    pub plan_stop: Option<usize>,
+    /// Where the charger actually parked (anchors move after replans).
+    pub anchor: Point,
+    /// Length of the leg driven into this stop (m).
+    pub drive_m: f64,
+    /// Time spent driving that leg, including stalls (s).
+    pub drive_s: f64,
+    /// Retry backoff waited before charging started or was given up (s).
+    pub backoff_s: f64,
+    /// Realized dwell, including degradation stretch (s); `0` if the
+    /// stop was abandoned.
+    pub dwell_s: f64,
+    /// Charge attempts made (`0` at base visits).
+    pub attempts: u32,
+    /// Charging efficiency realized at this stop (`1.0` = nominal).
+    pub efficiency: f64,
+    /// Original indices of the sensors fully charged here.
+    pub served: Vec<usize>,
+    /// Energy delivered to the served sensors (J).
+    pub delivered_j: f64,
+}
+
+/// Everything one fault-injected round produced, both the per-stop
+/// timeline (for lifetime replay) and the aggregate recovery metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Round the schedule was drawn for.
+    pub round: u64,
+    /// Policy that handled the faults.
+    pub policy: RecoveryPolicy,
+    /// The realized tour, in execution order.
+    pub timeline: Vec<ExecutedStop>,
+    /// Original indices of sensors that died during this round.
+    pub fault_deaths: Vec<usize>,
+    /// Live sensors the round failed to charge (sorted).
+    pub stranded: Vec<usize>,
+    /// Sensors fully charged this round (sorted).
+    pub served: Vec<usize>,
+    /// Charging stops in the input plan.
+    pub stops_planned: usize,
+    /// Stops that actually charged at least one sensor.
+    pub stops_charged: usize,
+    /// Planned charging stops abandoned (emptied by deaths, dissolved by
+    /// a replan, or given up after exhausting retries).
+    pub stops_abandoned: usize,
+    /// Times the remainder was rebuilt by [`RecoveryPolicy::ReplanRemaining`].
+    pub replans: usize,
+    /// Base-station visits made by [`RecoveryPolicy::ReturnToBase`].
+    pub base_returns: usize,
+    /// Total failed charge attempts absorbed by retries.
+    pub retries: u32,
+    /// Distance actually driven (m).
+    pub distance_m: f64,
+    /// Wall-clock duration of the round (s).
+    pub duration_s: f64,
+    /// Time spent recovering: stall delays, retry backoff, degradation
+    /// stretch and base detour legs (s).
+    pub recovery_latency_s: f64,
+    /// Movement energy actually spent (J).
+    pub move_energy_j: f64,
+    /// Charging energy actually spent (J).
+    pub charge_energy_j: f64,
+    /// Total energy actually spent (J).
+    pub total_energy_j: f64,
+    /// Energy the plan would cost fault-free (J).
+    pub nominal_energy_j: f64,
+    /// `total - nominal` (J); negative when deaths shrink the tour more
+    /// than recovery costs.
+    pub extra_energy_j: f64,
+}
+
+impl ExecutionReport {
+    /// Restricts the realized tour to the sensors it actually served and
+    /// returns it as a standalone `(Network, ChargingPlan)` pair, with
+    /// sensor indices remapped to the subnetwork.
+    ///
+    /// The pair satisfies [`ChargingPlan::validate`] by construction:
+    /// every served sensor sits in exactly one executed stop, and
+    /// realized dwells are never below what their members need (recovery
+    /// only ever stretches them).
+    pub fn served_subplan(&self, net: &Network) -> (Network, ChargingPlan) {
+        let mut sub_idx = vec![usize::MAX; net.len()];
+        let sensors: Vec<Sensor> = self
+            .served
+            .iter()
+            .enumerate()
+            .map(|(new, &orig)| {
+                sub_idx[orig] = new;
+                *net.sensor(orig)
+            })
+            .collect();
+        let sub_net = Network::new(sensors, net.field(), net.base());
+        let stops: Vec<Stop> = self
+            .timeline
+            .iter()
+            .filter(|e| !e.served.is_empty())
+            .map(|e| {
+                let members: Vec<usize> = e.served.iter().map(|&s| sub_idx[s]).collect();
+                Stop {
+                    bundle: ChargingBundle::with_anchor(members, e.anchor, &sub_net),
+                    dwell: e.dwell_s,
+                }
+            })
+            .collect();
+        let plan = ChargingPlan::new(stops, sub_net.len());
+        (sub_net, plan)
+    }
+}
+
+/// The tour item queue: plan stops still to visit (tagged with their
+/// original stop index) plus recovery visits to the base station.
+#[derive(Debug, Clone)]
+enum Item {
+    Visit { tag: usize, stop: Stop },
+    Base,
+}
+
+/// Steps charging plans against fault schedules.
+///
+/// Built once per `(network, config)`; [`Executor::execute`] can then be
+/// called for any number of plans, rounds and fault models.
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    net: &'a Network,
+    cfg: &'a PlannerConfig,
+    speed_mps: f64,
+    policy: RecoveryPolicy,
+    sortie_budget_j: f64,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with a 1 m/s charger, the
+    /// [`RecoveryPolicy::SkipAndContinue`] policy and an unconstrained
+    /// sortie budget.
+    pub fn new(net: &'a Network, cfg: &'a PlannerConfig) -> Self {
+        Executor {
+            net,
+            cfg,
+            speed_mps: 1.0,
+            policy: RecoveryPolicy::SkipAndContinue,
+            sortie_budget_j: f64::MAX / 2.0,
+        }
+    }
+
+    /// Sets the charger's driving speed (m/s).
+    pub fn with_speed(mut self, speed_mps: f64) -> Self {
+        self.speed_mps = speed_mps;
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds the energy of each recovery sortie flown by
+    /// [`RecoveryPolicy::ReturnToBase`] (J).
+    pub fn with_sortie_budget(mut self, budget_j: f64) -> Self {
+        self.sortie_budget_j = budget_j;
+        self
+    }
+
+    /// Executes one round of `plan` against the faults of `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] when the configuration, fault model,
+    /// speed or plan is invalid, or (under
+    /// [`RecoveryPolicy::ReturnToBase`] with a finite sortie budget) when
+    /// a recovery sortie cannot fit the budget. Faults themselves never
+    /// error — they are recovered from and reported.
+    pub fn execute(
+        &self,
+        plan: &ChargingPlan,
+        faults: &FaultModel,
+        round: u64,
+    ) -> Result<ExecutionReport, ExecError> {
+        self.execute_with_dead(plan, faults, round, &[])
+    }
+
+    /// Like [`Executor::execute`], but with some sensors already dead
+    /// when the round starts (their indices in `initially_dead`). Used
+    /// by lifetime simulations that carry hardware deaths across rounds;
+    /// pre-dead sensors are dropped through the recovery policy before
+    /// the charger departs and are *not* counted in `fault_deaths`.
+    pub fn execute_with_dead(
+        &self,
+        plan: &ChargingPlan,
+        faults: &FaultModel,
+        round: u64,
+        initially_dead: &[usize],
+    ) -> Result<ExecutionReport, ExecError> {
+        faults.validate()?;
+        self.cfg.validate()?;
+        if !self.speed_mps.is_finite() || self.speed_mps <= 0.0 {
+            return Err(ExecError::BadSpeed {
+                value: self.speed_mps,
+            });
+        }
+        plan.validate(self.net, &self.cfg.charging)?;
+
+        let schedule = faults.schedule(round, self.net.len(), plan.stops.len());
+        let nominal = plan.metrics(&self.cfg.energy);
+
+        let mut st = ExecState::new(self, plan, faults, round, schedule, nominal.total_energy_j);
+        for &s in initially_dead {
+            if s < st.dead.len() {
+                st.apply_death(self, s, false)?;
+            }
+        }
+        st.run(self)?;
+        Ok(st.finish(self, plan))
+    }
+}
+
+/// Mutable state of one execution round.
+struct ExecState {
+    round: u64,
+    policy: RecoveryPolicy,
+    schedule: FaultSchedule,
+    pending: VecDeque<Item>,
+    /// Current copy of the network ([`RecoveryPolicy::ReplanRemaining`]
+    /// shrinks it) and the original index of each of its sensors.
+    cur_net: Network,
+    orig_of: Vec<usize>,
+    dead: Vec<bool>,
+    charged: Vec<bool>,
+    /// Deaths as `(execution step, original sensor)`, sorted; `next_death`
+    /// points at the first not-yet-fired entry.
+    deaths: Vec<(usize, usize)>,
+    next_death: usize,
+    /// Stops whose transient failures were cleared by a base visit.
+    attempts_cleared: Vec<bool>,
+    model_max_retries: u32,
+    model_backoff_s: f64,
+    sortie_budget_j: f64,
+    step: usize,
+    pos: Option<Point>,
+    start_pos: Option<Point>,
+    ended_at_base: bool,
+    timeline: Vec<ExecutedStop>,
+    fault_deaths: Vec<usize>,
+    stops_abandoned: usize,
+    replans: usize,
+    base_returns: usize,
+    retries: u32,
+    distance_m: f64,
+    duration_s: f64,
+    latency_s: f64,
+    move_energy_j: f64,
+    charge_energy_j: f64,
+    nominal_energy_j: f64,
+}
+
+impl ExecState {
+    fn new(
+        exec: &Executor<'_>,
+        plan: &ChargingPlan,
+        faults: &FaultModel,
+        round: u64,
+        schedule: FaultSchedule,
+        nominal_energy_j: f64,
+    ) -> Self {
+        let pending = plan
+            .stops
+            .iter()
+            .enumerate()
+            .map(|(tag, stop)| Item::Visit {
+                tag,
+                stop: stop.clone(),
+            })
+            .collect();
+        let mut deaths: Vec<(usize, usize)> = schedule
+            .deaths
+            .iter()
+            .enumerate()
+            .filter_map(|(s, at)| at.map(|a| (a, s)))
+            .collect();
+        deaths.sort_unstable();
+        ExecState {
+            round,
+            policy: exec.policy,
+            pending,
+            cur_net: exec.net.clone(),
+            orig_of: (0..exec.net.len()).collect(),
+            dead: vec![false; exec.net.len()],
+            charged: vec![false; exec.net.len()],
+            deaths,
+            next_death: 0,
+            attempts_cleared: vec![false; plan.stops.len()],
+            model_max_retries: faults.max_retries,
+            model_backoff_s: faults.backoff_s,
+            sortie_budget_j: exec.sortie_budget_j,
+            schedule,
+            step: 0,
+            pos: None,
+            start_pos: None,
+            ended_at_base: false,
+            timeline: Vec::new(),
+            fault_deaths: Vec::new(),
+            stops_abandoned: 0,
+            replans: 0,
+            base_returns: 0,
+            retries: 0,
+            distance_m: 0.0,
+            duration_s: 0.0,
+            latency_s: 0.0,
+            move_energy_j: 0.0,
+            charge_energy_j: 0.0,
+            nominal_energy_j,
+        }
+    }
+
+    fn run(&mut self, exec: &Executor<'_>) -> Result<(), ExecError> {
+        loop {
+            // Deaths fire while their stop is still in the queue, so the
+            // policy can react before the charger departs.
+            while self.next_death < self.deaths.len() && self.deaths[self.next_death].0 <= self.step
+            {
+                let (_, sensor) = self.deaths[self.next_death];
+                self.next_death += 1;
+                self.apply_death(exec, sensor, true)?;
+            }
+            let Some(item) = self.pending.pop_front() else {
+                break;
+            };
+            match item {
+                Item::Base => self.visit_base(exec),
+                Item::Visit { tag, stop } => {
+                    self.visit_stop(exec, tag, stop)?;
+                    self.step += 1;
+                }
+            }
+        }
+        // Post-tour deaths (scheduled past the executed stops).
+        while self.next_death < self.deaths.len() {
+            let (_, sensor) = self.deaths[self.next_death];
+            self.next_death += 1;
+            self.apply_death(exec, sensor, true)?;
+        }
+        // Close the tour like the nominal metrics do, unless a recovery
+        // already parked the charger at the base.
+        if !self.ended_at_base {
+            if let (Some(pos), Some(start)) = (self.pos, self.start_pos) {
+                let d = pos.distance(start);
+                self.distance_m += d;
+                self.duration_s += d / exec.speed_mps;
+                self.move_energy_j += exec.cfg.energy.movement_energy(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives a leg of `d` metres with the given stall multiplier.
+    fn drive(&mut self, exec: &Executor<'_>, to: Point, stall: f64) -> (f64, f64) {
+        let d = self.pos.map_or(0.0, |p| p.distance(to));
+        let t = d / exec.speed_mps * stall;
+        self.distance_m += d;
+        self.duration_s += t;
+        self.latency_s += d / exec.speed_mps * (stall - 1.0);
+        self.move_energy_j += exec.cfg.energy.movement_energy(d);
+        if self.start_pos.is_none() {
+            self.start_pos = Some(to);
+        }
+        self.pos = Some(to);
+        (d, t)
+    }
+
+    fn visit_base(&mut self, exec: &Executor<'_>) {
+        let (d, t) = self.drive(exec, exec.net.base(), 1.0);
+        // The detour leg into the base is pure recovery time.
+        self.latency_s += t;
+        self.base_returns += 1;
+        self.ended_at_base = true;
+        self.timeline.push(ExecutedStop {
+            plan_stop: None,
+            anchor: exec.net.base(),
+            drive_m: d,
+            drive_s: t,
+            backoff_s: 0.0,
+            dwell_s: 0.0,
+            attempts: 0,
+            efficiency: 1.0,
+            served: Vec::new(),
+            delivered_j: 0.0,
+        });
+    }
+
+    fn visit_stop(&mut self, exec: &Executor<'_>, tag: usize, stop: Stop) -> Result<(), ExecError> {
+        self.ended_at_base = false;
+        let (d, t) = self.drive(exec, stop.anchor(), self.schedule.stalls[tag]);
+        if stop.bundle.is_empty() {
+            // Way-point (e.g. the base when include_base is set).
+            self.timeline.push(ExecutedStop {
+                plan_stop: Some(tag),
+                anchor: stop.anchor(),
+                drive_m: d,
+                drive_s: t,
+                backoff_s: 0.0,
+                dwell_s: 0.0,
+                attempts: 0,
+                efficiency: 1.0,
+                served: Vec::new(),
+                delivered_j: 0.0,
+            });
+            return Ok(());
+        }
+        let fails = if self.attempts_cleared[tag] {
+            0
+        } else {
+            self.schedule.failed_attempts[tag]
+        };
+        let max_retries = self.model_max_retries;
+        if fails > max_retries {
+            return self.unrecoverable_stop(exec, tag, stop, d, t, max_retries);
+        }
+        // `fails` transient failures, then one clean attempt. The
+        // charger waits backoff * 2^(k-1) after failure k; with the
+        // transmitter off, backoff costs time but no energy.
+        let backoff = self.backoff_total(fails);
+        self.retries += fails;
+        self.duration_s += backoff;
+        self.latency_s += backoff;
+        let efficiency = self.schedule.degraded[tag].unwrap_or(1.0);
+        // Stretch the dwell so every member still receives its demand:
+        // delivered power scales by `efficiency`, and delivery is linear
+        // in time, so `dwell / efficiency` compensates exactly.
+        let dwell = stop.dwell / efficiency;
+        let mut served = Vec::new();
+        let mut delivered = 0.0;
+        for &m in &stop.bundle.sensors {
+            let orig = self.orig_of[m];
+            if self.dead[orig] || self.charged[orig] {
+                continue;
+            }
+            self.charged[orig] = true;
+            served.push(orig);
+            delivered += self.cur_net.sensor(m).demand;
+        }
+        self.duration_s += dwell;
+        self.latency_s += dwell - stop.dwell;
+        self.charge_energy_j += exec.cfg.energy.charging_energy(dwell);
+        self.timeline.push(ExecutedStop {
+            plan_stop: Some(tag),
+            anchor: stop.anchor(),
+            drive_m: d,
+            drive_s: t,
+            backoff_s: backoff,
+            dwell_s: dwell,
+            attempts: fails + 1,
+            efficiency,
+            served,
+            delivered_j: delivered,
+        });
+        Ok(())
+    }
+
+    /// A stop whose transient failures exceeded the retry budget.
+    fn unrecoverable_stop(
+        &mut self,
+        exec: &Executor<'_>,
+        tag: usize,
+        stop: Stop,
+        drive_m: f64,
+        drive_s: f64,
+        max_retries: u32,
+    ) -> Result<(), ExecError> {
+        let attempts = max_retries + 1;
+        let backoff = self.backoff_total(max_retries);
+        self.retries += attempts;
+        self.duration_s += backoff;
+        self.latency_s += backoff;
+        match self.policy {
+            RecoveryPolicy::SkipAndContinue | RecoveryPolicy::ReplanRemaining => {
+                // Give up in place; live members stay stranded.
+                self.stops_abandoned += 1;
+                self.timeline.push(ExecutedStop {
+                    plan_stop: Some(tag),
+                    anchor: stop.anchor(),
+                    drive_m,
+                    drive_s,
+                    backoff_s: backoff,
+                    dwell_s: 0.0,
+                    attempts,
+                    efficiency: 1.0,
+                    served: Vec::new(),
+                    delivered_j: 0.0,
+                });
+                Ok(())
+            }
+            RecoveryPolicy::ReturnToBase => {
+                // A base visit resets the transient condition: re-queue
+                // the stop and re-enter the remainder from the base.
+                self.timeline.push(ExecutedStop {
+                    plan_stop: Some(tag),
+                    anchor: stop.anchor(),
+                    drive_m,
+                    drive_s,
+                    backoff_s: backoff,
+                    dwell_s: 0.0,
+                    attempts,
+                    efficiency: 1.0,
+                    served: Vec::new(),
+                    delivered_j: 0.0,
+                });
+                self.attempts_cleared[tag] = true;
+                self.pending.push_front(Item::Visit { tag, stop });
+                self.resplit_from_base(exec)
+            }
+        }
+    }
+
+    /// Marks `orig` dead and lets the policy repair the remainder.
+    fn apply_death(
+        &mut self,
+        exec: &Executor<'_>,
+        orig: usize,
+        new_death: bool,
+    ) -> Result<(), ExecError> {
+        if self.dead[orig] {
+            return Ok(());
+        }
+        self.dead[orig] = true;
+        if new_death {
+            self.fault_deaths.push(orig);
+        }
+        let Some(ci) = self.orig_of.iter().position(|&o| o == orig) else {
+            return Ok(());
+        };
+        let affects_pending = self.pending.iter().any(|it| match it {
+            Item::Visit { stop, .. } => stop.bundle.sensors.contains(&ci),
+            Item::Base => false,
+        });
+        if !affects_pending {
+            return Ok(());
+        }
+        match self.policy {
+            RecoveryPolicy::SkipAndContinue => {
+                self.drop_member(exec, ci);
+                Ok(())
+            }
+            RecoveryPolicy::ReturnToBase => {
+                self.drop_member(exec, ci);
+                self.resplit_from_base(exec)
+            }
+            RecoveryPolicy::ReplanRemaining => self.replan_remaining(exec, ci),
+        }
+    }
+
+    /// Removes current-index `ci` from whichever pending stop holds it,
+    /// keeping the anchor and recomputing the dwell for the survivors.
+    fn drop_member(&mut self, exec: &Executor<'_>, ci: usize) {
+        let mut emptied = 0;
+        for it in self.pending.iter_mut() {
+            let Item::Visit { stop, .. } = it else {
+                continue;
+            };
+            let Some(at) = stop.bundle.sensors.iter().position(|&m| m == ci) else {
+                continue;
+            };
+            let mut members = stop.bundle.sensors.clone();
+            members.remove(at);
+            if members.is_empty() {
+                stop.bundle.sensors.clear();
+                stop.dwell = 0.0;
+                emptied += 1;
+            } else {
+                let bundle =
+                    ChargingBundle::with_anchor(members, stop.bundle.anchor, &self.cur_net);
+                stop.dwell = bundle.dwell_time(&self.cur_net, &exec.cfg.charging);
+                stop.bundle = bundle;
+            }
+        }
+        if emptied > 0 {
+            self.stops_abandoned += emptied;
+            self.pending.retain(|it| match it {
+                Item::Visit { stop, .. } => !stop.bundle.is_empty() || stop.dwell > 0.0,
+                Item::Base => true,
+            });
+        }
+    }
+
+    /// Rebuilds the unvisited remainder without sensor `ci` via
+    /// [`replan::remove_sensor`], retagging the rebuilt stops.
+    fn replan_remaining(&mut self, exec: &Executor<'_>, ci: usize) -> Result<(), ExecError> {
+        let old: Vec<(usize, Stop)> = self
+            .pending
+            .drain(..)
+            .filter_map(|it| match it {
+                Item::Visit { tag, stop } => Some((tag, stop)),
+                Item::Base => None,
+            })
+            .collect();
+        let remaining = ChargingPlan::new(
+            old.iter().map(|(_, s)| s.clone()).collect(),
+            self.cur_net.len(),
+        );
+        let (new_net, new_plan) = replan::remove_sensor(&self.cur_net, &remaining, ci, exec.cfg)?;
+        self.cur_net = new_net;
+        self.orig_of.remove(ci);
+        self.replans += 1;
+        // remove_sensor keeps stop order, drops dissolved singletons and
+        // preserves way-points; walk both lists in lockstep to retag.
+        let mut rebuilt = new_plan.stops.into_iter();
+        for (tag, old_stop) in old {
+            let kept = old_stop.bundle.is_empty()
+                || old_stop.bundle.sensors.iter().any(|&m| m != ci);
+            if kept {
+                let stop = rebuilt.next().expect("replan keeps every surviving stop");
+                self.pending.push_back(Item::Visit { tag, stop });
+            } else {
+                self.stops_abandoned += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the pending queue with base-anchored sorties over the
+    /// remaining stops (the [`RecoveryPolicy::ReturnToBase`] detour).
+    fn resplit_from_base(&mut self, exec: &Executor<'_>) -> Result<(), ExecError> {
+        let visits: Vec<(usize, Stop)> = self
+            .pending
+            .drain(..)
+            .filter_map(|it| match it {
+                Item::Visit { tag, stop } => Some((tag, stop)),
+                Item::Base => None,
+            })
+            .collect();
+        if visits.is_empty() {
+            self.pending.push_back(Item::Base);
+            return Ok(());
+        }
+        let remaining = ChargingPlan::new(visits.iter().map(|(_, s)| s.clone()).collect(), 0);
+        let sp = split_into_sorties(
+            &remaining,
+            exec.net.base(),
+            &exec.cfg.energy,
+            self.sortie_budget_j,
+        )
+        .map_err(ExecError::Sortie)?;
+        for sortie in &sp.sorties {
+            self.pending.push_back(Item::Base);
+            for i in sortie.stops.clone() {
+                let (tag, stop) = visits[i].clone();
+                self.pending.push_back(Item::Visit { tag, stop });
+            }
+        }
+        self.pending.push_back(Item::Base);
+        Ok(())
+    }
+
+    fn backoff_total(&self, fails: u32) -> f64 {
+        // Failure k is followed by a backoff * 2^(k-1) wait; after the
+        // final give-up there is nothing left to wait for.
+        (0..fails)
+            .map(|k| self.model_backoff_s * (1u64 << k.min(62)) as f64)
+            .sum()
+    }
+
+    fn finish(self, _exec: &Executor<'_>, plan: &ChargingPlan) -> ExecutionReport {
+        let mut served: Vec<usize> = (0..self.charged.len()).filter(|&s| self.charged[s]).collect();
+        served.sort_unstable();
+        // Stranded: sensors the plan promised to charge that are still
+        // alive but went uncharged.
+        let mut planned = vec![false; self.dead.len()];
+        for stop in &plan.stops {
+            for &m in &stop.bundle.sensors {
+                planned[m] = true;
+            }
+        }
+        let stranded: Vec<usize> = (0..self.dead.len())
+            .filter(|&s| planned[s] && !self.dead[s] && !self.charged[s])
+            .collect();
+        let total = self.move_energy_j + self.charge_energy_j;
+        let stops_charged = self.timeline.iter().filter(|e| !e.served.is_empty()).count();
+        ExecutionReport {
+            round: self.round,
+            policy: self.policy,
+            fault_deaths: self.fault_deaths,
+            stranded,
+            served,
+            stops_planned: plan.num_charging_stops(),
+            stops_charged,
+            stops_abandoned: self.stops_abandoned,
+            replans: self.replans,
+            base_returns: self.base_returns,
+            retries: self.retries,
+            distance_m: self.distance_m,
+            duration_s: self.duration_s,
+            recovery_latency_s: self.latency_s,
+            move_energy_j: self.move_energy_j,
+            charge_energy_j: self.charge_energy_j,
+            total_energy_j: total,
+            nominal_energy_j: self.nominal_energy_j,
+            extra_energy_j: total - self.nominal_energy_j,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner;
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    fn setup(n: usize, seed: u64) -> (Network, PlannerConfig, ChargingPlan) {
+        let net = deploy::uniform(n, Aabb::square(300.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(30.0);
+        let plan = planner::bundle_charging(&net, &cfg);
+        (net, cfg, plan)
+    }
+
+    #[test]
+    fn fault_free_execution_matches_nominal() {
+        let (net, cfg, plan) = setup(40, 11);
+        let exec = Executor::new(&net, &cfg);
+        let rep = exec.execute(&plan, &FaultModel::none(), 0).unwrap();
+        assert!(rep.extra_energy_j.abs() < 1e-6, "extra {}", rep.extra_energy_j);
+        assert_eq!(rep.recovery_latency_s, 0.0);
+        assert_eq!(rep.served.len(), 40);
+        assert!(rep.stranded.is_empty());
+        assert!(rep.fault_deaths.is_empty());
+        assert_eq!(rep.stops_charged, plan.num_charging_stops());
+        assert!((rep.distance_m - plan.tour_length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let (net, cfg, plan) = setup(50, 21);
+        let fm = FaultModel::with_rate(77, 0.35);
+        for policy in RecoveryPolicy::ALL {
+            let exec = Executor::new(&net, &cfg).with_policy(policy).with_speed(2.0);
+            let a = exec.execute(&plan, &fm, 3).unwrap();
+            let b = exec.execute(&plan, &fm, 3).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{policy} not deterministic");
+        }
+    }
+
+    #[test]
+    fn every_policy_accounts_for_every_sensor() {
+        let (net, cfg, plan) = setup(60, 31);
+        let fm = FaultModel::with_rate(5, 0.4);
+        for policy in RecoveryPolicy::ALL {
+            let exec = Executor::new(&net, &cfg).with_policy(policy);
+            let rep = exec.execute(&plan, &fm, 1).unwrap();
+            // served, stranded and dead partition the sensor set.
+            let mut seen = vec![0u32; net.len()];
+            for &s in &rep.served {
+                seen[s] += 1;
+            }
+            for &s in &rep.stranded {
+                seen[s] += 1;
+            }
+            for &s in &rep.fault_deaths {
+                // A sensor charged before dying is both served and dead.
+                if !rep.served.contains(&s) {
+                    seen[s] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{policy}: sensor accounting broken: {seen:?}"
+            );
+            assert!(rep.total_energy_j.is_finite() && rep.total_energy_j >= 0.0);
+            assert!(rep.recovery_latency_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn served_subplan_validates_under_all_policies() {
+        let (net, cfg, plan) = setup(45, 41);
+        let fm = FaultModel::with_rate(9, 0.5);
+        for policy in RecoveryPolicy::ALL {
+            let exec = Executor::new(&net, &cfg).with_policy(policy);
+            let rep = exec.execute(&plan, &fm, 2).unwrap();
+            let (sub_net, sub_plan) = rep.served_subplan(&net);
+            sub_plan
+                .validate(&sub_net, &cfg.charging)
+                .unwrap_or_else(|e| panic!("{policy}: served subplan invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn return_to_base_rescues_jammed_stops() {
+        let (net, cfg, plan) = setup(30, 51);
+        // Every stop jams beyond the retry budget.
+        let fm = FaultModel {
+            charge_fail_prob: 1.0,
+            max_retries: 1,
+            ..FaultModel::none()
+        };
+        let skip = Executor::new(&net, &cfg)
+            .with_policy(RecoveryPolicy::SkipAndContinue)
+            .execute(&plan, &fm, 0)
+            .unwrap();
+        assert_eq!(skip.served.len(), 0, "skip should strand everyone");
+        assert_eq!(skip.stranded.len(), 30);
+        assert!(skip.retries > 0);
+
+        let rtb = Executor::new(&net, &cfg)
+            .with_policy(RecoveryPolicy::ReturnToBase)
+            .execute(&plan, &fm, 0)
+            .unwrap();
+        assert_eq!(rtb.served.len(), 30, "base resets must rescue everyone");
+        assert!(rtb.stranded.is_empty());
+        assert!(rtb.base_returns > 0);
+        assert!(
+            rtb.total_energy_j > skip.total_energy_j,
+            "rescue must cost energy: rtb {} vs skip {}",
+            rtb.total_energy_j,
+            skip.total_energy_j
+        );
+    }
+
+    #[test]
+    fn replan_shrinks_tour_after_deaths() {
+        let (net, cfg, plan) = setup(50, 61);
+        let fm = FaultModel {
+            death_prob: 0.4,
+            ..FaultModel::with_rate(13, 0.0)
+        };
+        let rep = Executor::new(&net, &cfg)
+            .with_policy(RecoveryPolicy::ReplanRemaining)
+            .execute(&plan, &fm, 0)
+            .unwrap();
+        assert!(!rep.fault_deaths.is_empty(), "this seed should kill sensors");
+        assert!(rep.replans > 0);
+        // Deaths only: every survivor the tour still reaches is charged.
+        assert!(rep.stranded.is_empty(), "replan strands no one: {:?}", rep.stranded);
+    }
+
+    #[test]
+    fn degradation_stretches_dwell_not_strands() {
+        let (net, cfg, plan) = setup(25, 71);
+        let fm = FaultModel {
+            degrade_prob: 1.0,
+            degrade_floor: 0.5,
+            ..FaultModel::none()
+        };
+        let rep = Executor::new(&net, &cfg).execute(&plan, &fm, 0).unwrap();
+        assert_eq!(rep.served.len(), 25);
+        assert!(rep.recovery_latency_s > 0.0, "degradation must cost time");
+        assert!(rep.extra_energy_j > 0.0, "longer dwells must cost energy");
+        for e in rep.timeline.iter().filter(|e| !e.served.is_empty()) {
+            assert!(e.efficiency < 1.0);
+        }
+    }
+
+    #[test]
+    fn initially_dead_are_not_new_deaths() {
+        let (net, cfg, plan) = setup(20, 81);
+        let exec = Executor::new(&net, &cfg);
+        let rep = exec
+            .execute_with_dead(&plan, &FaultModel::none(), 0, &[3, 7])
+            .unwrap();
+        assert!(rep.fault_deaths.is_empty());
+        assert_eq!(rep.served.len(), 18);
+        assert!(!rep.served.contains(&3) && !rep.served.contains(&7));
+        assert!(rep.stranded.is_empty());
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        let (net, cfg, plan) = setup(10, 91);
+        let mut bad_fm = FaultModel::none();
+        bad_fm.death_prob = 2.0;
+        let exec = Executor::new(&net, &cfg);
+        assert!(matches!(
+            exec.execute(&plan, &bad_fm, 0),
+            Err(ExecError::Faults(_))
+        ));
+        assert!(matches!(
+            Executor::new(&net, &cfg)
+                .with_speed(0.0)
+                .execute(&plan, &FaultModel::none(), 0),
+            Err(ExecError::BadSpeed { .. })
+        ));
+        let bad_cfg = PlannerConfig::paper_sim(-1.0);
+        assert!(matches!(
+            Executor::new(&net, &bad_cfg).execute(&plan, &FaultModel::none(), 0),
+            Err(ExecError::Config(_))
+        ));
+        let mut broken = plan.clone();
+        broken.stops.pop();
+        let err = exec.execute(&broken, &FaultModel::none(), 0).unwrap_err();
+        assert!(matches!(err, ExecError::Plan(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn stall_costs_time_but_not_energy() {
+        let (net, cfg, plan) = setup(20, 101);
+        let fm = FaultModel {
+            stall_prob: 1.0,
+            stall_slowdown_max: 1.0,
+            ..FaultModel::none()
+        };
+        let clean = Executor::new(&net, &cfg)
+            .execute(&plan, &FaultModel::none(), 0)
+            .unwrap();
+        let stalled = Executor::new(&net, &cfg).execute(&plan, &fm, 0).unwrap();
+        assert!(stalled.duration_s > clean.duration_s);
+        assert!((stalled.total_energy_j - clean.total_energy_j).abs() < 1e-9);
+        assert!(stalled.recovery_latency_s > 0.0);
+    }
+}

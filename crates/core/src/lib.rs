@@ -40,6 +40,8 @@
 pub mod bundle;
 pub mod candidates;
 pub mod config;
+pub mod execute;
+pub mod faults;
 pub mod generation;
 pub mod multi;
 pub mod plan;
@@ -51,7 +53,9 @@ pub mod tighten;
 
 pub use bundle::ChargingBundle;
 pub use candidates::{Candidate, CandidateFamily};
-pub use config::{DwellPolicy, PlannerConfig};
+pub use config::{ConfigError, DwellPolicy, PlannerConfig};
+pub use execute::{ExecError, ExecutedStop, ExecutionReport, Executor, RecoveryPolicy};
+pub use faults::{FaultModel, FaultModelError, FaultSchedule};
 pub use generation::{generate_bundles, BundleStrategy};
 pub use multi::{plan_fleet, MultiChargerPlan};
 pub use plan::{ChargingPlan, Metrics, PlanError, Stop};

@@ -80,13 +80,29 @@ pub struct Metrics {
     pub avg_charge_time_per_sensor_s: f64,
 }
 
-/// A plan failed validation.
+/// A plan failed validation, or a planning operation was given input it
+/// cannot produce a plan for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
     /// Some sensor is not assigned to any stop.
     Unassigned {
         /// Index of the first unassigned sensor.
         sensor: usize,
+    },
+    /// The planner configuration is invalid (see
+    /// [`crate::PlannerConfig::validate`]).
+    Config(crate::config::ConfigError),
+    /// A sensor index does not exist in the network.
+    SensorOutOfBounds {
+        /// The offending index.
+        sensor: usize,
+        /// Number of sensors in the network.
+        len: usize,
+    },
+    /// A sensor's energy demand is not a non-negative finite number.
+    InvalidDemand {
+        /// The rejected demand (J).
+        value: f64,
     },
     /// A sensor is assigned to more than one stop.
     DuplicateAssignment {
@@ -112,6 +128,13 @@ impl fmt::Display for PlanError {
             PlanError::Unassigned { sensor } => {
                 write!(f, "sensor {sensor} is not served by any stop")
             }
+            PlanError::Config(err) => write!(f, "invalid planner configuration: {err}"),
+            PlanError::SensorOutOfBounds { sensor, len } => {
+                write!(f, "sensor index {sensor} is out of bounds for a network of {len}")
+            }
+            PlanError::InvalidDemand { value } => {
+                write!(f, "sensor demand must be non-negative and finite, got {value}")
+            }
             PlanError::DuplicateAssignment { sensor } => {
                 write!(f, "sensor {sensor} is assigned to multiple stops")
             }
@@ -128,7 +151,20 @@ impl fmt::Display for PlanError {
     }
 }
 
-impl std::error::Error for PlanError {}
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Config(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::config::ConfigError> for PlanError {
+    fn from(err: crate::config::ConfigError) -> Self {
+        PlanError::Config(err)
+    }
+}
 
 impl ChargingPlan {
     /// Builds a plan from ordered stops.

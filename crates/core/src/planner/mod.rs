@@ -33,7 +33,7 @@ use bc_geom::Point;
 use bc_tsp::{solve, SolveConfig};
 use bc_wsn::Network;
 
-use crate::{ChargingPlan, PlannerConfig, Stop};
+use crate::{ChargingPlan, PlanError, PlannerConfig, Stop};
 
 /// Orders a bag of stops into a closed tour with the TSP pipeline,
 /// optionally prepending the network's base station as a zero-dwell
@@ -81,12 +81,36 @@ pub(crate) fn order_into_plan(
 /// }
 /// ```
 pub fn run(algo: Algorithm, net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
-    match algo {
+    try_run(algo, net, cfg).unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
+}
+
+/// Fallible variant of [`run`]: validates the configuration and the
+/// network's demands before dispatching, so bad input surfaces as a
+/// typed [`PlanError`] instead of a panic or a `NaN`-riddled plan.
+///
+/// # Errors
+///
+/// * [`PlanError::Config`] when [`PlannerConfig::validate`] rejects the
+///   configuration;
+/// * [`PlanError::InvalidDemand`] when some sensor's demand is negative
+///   or not finite.
+pub fn try_run(
+    algo: Algorithm,
+    net: &Network,
+    cfg: &PlannerConfig,
+) -> Result<ChargingPlan, PlanError> {
+    cfg.validate()?;
+    for s in net.sensors() {
+        if !s.demand.is_finite() || s.demand < 0.0 {
+            return Err(PlanError::InvalidDemand { value: s.demand });
+        }
+    }
+    Ok(match algo {
         Algorithm::Sc => single_charging(net, cfg),
         Algorithm::Css => css(net, cfg),
         Algorithm::Bc => bundle_charging(net, cfg),
         Algorithm::BcOpt => bundle_charging_opt(net, cfg),
-    }
+    })
 }
 
 /// The four compared algorithms.
@@ -161,6 +185,28 @@ mod tests {
         assert!(plan.stops[0].bundle.is_empty(), "tour should start at base");
         assert_eq!(plan.num_charging_stops(), 10);
         assert!(plan.validate(&net, &cfg.charging).is_ok());
+    }
+
+    #[test]
+    fn try_run_rejects_bad_config_and_demands() {
+        let net = deploy::uniform(8, Aabb::square(200.0), 2.0, 7);
+        let bad_cfg = PlannerConfig::paper_sim(f64::NAN);
+        for algo in Algorithm::ALL {
+            assert!(matches!(
+                try_run(algo, &net, &bad_cfg),
+                Err(PlanError::Config(_))
+            ));
+        }
+        let cfg = PlannerConfig::paper_sim(30.0);
+        // Sensor::new rejects negative demand, so corrupt one post-hoc.
+        let mut sensors = net.sensors().to_vec();
+        sensors[3].demand = f64::NAN;
+        let bad_net = Network::new(sensors, net.field(), net.base());
+        assert!(matches!(
+            try_run(Algorithm::Bc, &bad_net, &cfg),
+            Err(PlanError::InvalidDemand { .. })
+        ));
+        assert!(try_run(Algorithm::Bc, &net, &cfg).is_ok());
     }
 
     #[test]

@@ -13,22 +13,28 @@
 use bc_geom::Point;
 use bc_wsn::{Network, Sensor, SensorId};
 
-use crate::{ChargingBundle, ChargingPlan, PlannerConfig, Stop};
+use crate::{ChargingBundle, ChargingPlan, PlanError, PlannerConfig, Stop};
 
 /// Removes sensor `sensor_idx` from the network and updates the plan
 /// locally: its bundle shrinks (anchor recentred, dwell recomputed) or,
 /// if it was a singleton, the stop is dropped from the tour.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `sensor_idx` is out of bounds.
+/// Returns [`PlanError::SensorOutOfBounds`] if `sensor_idx` does not
+/// exist in the network.
 pub fn remove_sensor(
     net: &Network,
     plan: &ChargingPlan,
     sensor_idx: usize,
     cfg: &PlannerConfig,
-) -> (Network, ChargingPlan) {
-    assert!(sensor_idx < net.len(), "sensor index out of bounds");
+) -> Result<(Network, ChargingPlan), PlanError> {
+    if sensor_idx >= net.len() {
+        return Err(PlanError::SensorOutOfBounds {
+            sensor: sensor_idx,
+            len: net.len(),
+        });
+    }
     // New network without the sensor; indices above it shift down one.
     let sensors: Vec<Sensor> = net
         .sensors()
@@ -68,20 +74,28 @@ pub fn remove_sensor(
         }
     }
     let plan = ChargingPlan::new(stops, new_net.len());
-    (new_net, plan)
+    Ok((new_net, plan))
 }
 
 /// Adds a sensor at `pos` with the given demand and updates the plan
 /// locally: the sensor joins the existing stop that can absorb it within
 /// the bundle radius at the least extra energy, or becomes a new
 /// singleton stop spliced into the tour at the cheapest position.
+///
+/// # Errors
+///
+/// Returns [`PlanError::InvalidDemand`] if `demand` is negative or not
+/// finite (a `NaN` demand would otherwise poison every dwell downstream).
 pub fn add_sensor(
     net: &Network,
     plan: &ChargingPlan,
     pos: Point,
     demand: f64,
     cfg: &PlannerConfig,
-) -> (Network, ChargingPlan) {
+) -> Result<(Network, ChargingPlan), PlanError> {
+    if !demand.is_finite() || demand < 0.0 {
+        return Err(PlanError::InvalidDemand { value: demand });
+    }
     let mut sensors: Vec<Sensor> = net.sensors().to_vec();
     let new_idx = sensors.len();
     sensors.push(Sensor::new(SensorId(new_idx), pos, demand));
@@ -168,7 +182,7 @@ pub fn add_sensor(
         );
     }
     let plan = ChargingPlan::new(stops, new_net.len());
-    (new_net, plan)
+    Ok((new_net, plan))
 }
 
 #[cfg(test)]
@@ -191,7 +205,7 @@ mod tests {
         let mut cur = (net, plan);
         for _ in 0..10 {
             let victim = cur.0.len() / 2;
-            cur = remove_sensor(&cur.0, &cur.1, victim, &cfg);
+            cur = remove_sensor(&cur.0, &cur.1, victim, &cfg).unwrap();
             cur.1
                 .validate(&cur.0, &cfg.charging)
                 .expect("plan must stay feasible after removal");
@@ -205,7 +219,7 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(20.0);
         let mut cur = (net, planner::bundle_charging(&deploy::uniform(3, Aabb::square(100.0), 2.0, 4), &cfg));
         for _ in 0..3 {
-            cur = remove_sensor(&cur.0, &cur.1, 0, &cfg);
+            cur = remove_sensor(&cur.0, &cur.1, 0, &cfg).unwrap();
             cur.1.validate(&cur.0, &cfg.charging).unwrap();
         }
         assert_eq!(cur.0.len(), 0);
@@ -218,7 +232,7 @@ mod tests {
         let mut cur = (net, plan);
         for k in 0..8 {
             let pos = Point::new(30.0 + 30.0 * k as f64, 150.0);
-            cur = add_sensor(&cur.0, &cur.1, pos, 2.0, &cfg);
+            cur = add_sensor(&cur.0, &cur.1, pos, 2.0, &cfg).unwrap();
             cur.1
                 .validate(&cur.0, &cfg.charging)
                 .expect("plan must stay feasible after addition");
@@ -232,7 +246,7 @@ mod tests {
         let stops_before = plan.num_charging_stops();
         // Drop the newcomer right on an existing anchor.
         let anchor = plan.stops[0].anchor();
-        let (net2, plan2) = add_sensor(&net, &plan, anchor, 2.0, &cfg);
+        let (net2, plan2) = add_sensor(&net, &plan, anchor, 2.0, &cfg).unwrap();
         assert_eq!(plan2.num_charging_stops(), stops_before, "should absorb, not split");
         plan2.validate(&net2, &cfg.charging).unwrap();
     }
@@ -242,7 +256,7 @@ mod tests {
         let (net, cfg, plan) = setup();
         let stops_before = plan.num_charging_stops();
         // Far corner, outside every bundle radius.
-        let (net2, plan2) = add_sensor(&net, &plan, Point::new(299.0, 1.0), 2.0, &cfg);
+        let (net2, plan2) = add_sensor(&net, &plan, Point::new(299.0, 1.0), 2.0, &cfg).unwrap();
         // Either absorbed (if a bundle is near the corner) or a new stop;
         // for this seed the corner is isolated.
         assert!(plan2.num_charging_stops() >= stops_before);
@@ -254,7 +268,7 @@ mod tests {
         let net = deploy::uniform(0, Aabb::square(100.0), 2.0, 0);
         let cfg = PlannerConfig::paper_sim(20.0);
         let plan = ChargingPlan::new(Vec::new(), 0);
-        let (net2, plan2) = add_sensor(&net, &plan, Point::new(50.0, 50.0), 2.0, &cfg);
+        let (net2, plan2) = add_sensor(&net, &plan, Point::new(50.0, 50.0), 2.0, &cfg).unwrap();
         assert_eq!(net2.len(), 1);
         assert_eq!(plan2.num_charging_stops(), 1);
         plan2.validate(&net2, &cfg.charging).unwrap();
@@ -266,9 +280,9 @@ mod tests {
         let mut cur = (net, plan);
         // 6 removals + 6 additions.
         for k in 0..6 {
-            cur = remove_sensor(&cur.0, &cur.1, k * 3, &cfg);
+            cur = remove_sensor(&cur.0, &cur.1, k * 3, &cfg).unwrap();
             let pos = Point::new(20.0 + k as f64 * 45.0, 260.0 - k as f64 * 40.0);
-            cur = add_sensor(&cur.0, &cur.1, pos, 2.0, &cfg);
+            cur = add_sensor(&cur.0, &cur.1, pos, 2.0, &cfg).unwrap();
         }
         cur.1.validate(&cur.0, &cfg.charging).unwrap();
         let incremental = cur.1.metrics(&cfg.energy).total_energy_j;
@@ -282,9 +296,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn remove_bad_index_panics() {
+    fn remove_bad_index_is_a_typed_error() {
         let (net, cfg, plan) = setup();
-        let _ = remove_sensor(&net, &plan, 999, &cfg);
+        let err = remove_sensor(&net, &plan, 999, &cfg).unwrap_err();
+        assert_eq!(err, PlanError::SensorOutOfBounds { sensor: 999, len: 40 });
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn add_bad_demand_is_a_typed_error() {
+        let (net, cfg, plan) = setup();
+        for bad in [f64::NAN, f64::INFINITY, -2.0] {
+            let err = add_sensor(&net, &plan, Point::new(1.0, 1.0), bad, &cfg).unwrap_err();
+            assert!(matches!(err, PlanError::InvalidDemand { .. }));
+        }
     }
 }

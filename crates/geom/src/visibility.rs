@@ -206,12 +206,9 @@ mod tests {
         let (len, path) = r.shortest_path(a, b);
         // Optimal detour goes over a wall corner: through (4,5) and (6,5)
         // or the mirrored pair below.
-        let expected = {
-            let via_top = a.distance(Point::new(4.0, 5.0))
-                + Point::new(4.0, 5.0).distance(Point::new(6.0, 5.0))
-                + Point::new(6.0, 5.0).distance(b);
-            via_top
-        };
+        let expected = a.distance(Point::new(4.0, 5.0))
+            + Point::new(4.0, 5.0).distance(Point::new(6.0, 5.0))
+            + Point::new(6.0, 5.0).distance(b);
         assert!((len - expected).abs() < 1e-9, "len {len} vs {expected}");
         assert_eq!(path.len(), 4);
         // The path is symmetric in reverse.

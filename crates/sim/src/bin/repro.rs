@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|fig6|ablations|lifetime|fig10|fig11|fig12|fig13|fig14|fig16|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
@@ -20,7 +20,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|fig6|ablations|lifetime|fig10|fig11|fig12|fig13|fig14|fig16|all> \
+                "usage: repro <check|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -81,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         ("fig6", figures::fig6::tables),
         ("ablations", figures::ablations::tables),
         ("lifetime", bc_sim::lifetime::table),
+        ("faults", figures::faults::tables),
         ("fig10", figures::fig10::tables),
         ("fig11", figures::fig11::tables),
         ("fig12", figures::fig12::tables),

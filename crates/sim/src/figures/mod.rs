@@ -20,6 +20,7 @@
 //! clearest.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

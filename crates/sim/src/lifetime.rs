@@ -16,7 +16,7 @@
 //! the network alive with less energy.
 
 use bc_core::planner::{run, Algorithm};
-use bc_core::PlannerConfig;
+use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
 use bc_wsn::Network;
 
 /// Configuration of a lifetime simulation.
@@ -39,6 +39,13 @@ pub struct LifetimeConfig {
     pub algorithm: Algorithm,
     /// Planner configuration (bundle radius, models).
     pub planner: PlannerConfig,
+    /// Fault model executed against every round (`None` = perfect
+    /// execution, the original behaviour). Hardware deaths persist
+    /// across rounds; a dead sensor stops being charged and counts as
+    /// downtime for the rest of the horizon.
+    pub faults: Option<FaultModel>,
+    /// Recovery policy used when `faults` is set.
+    pub recovery: RecoveryPolicy,
 }
 
 impl LifetimeConfig {
@@ -57,7 +64,16 @@ impl LifetimeConfig {
             speed_mps: 1.0,
             algorithm,
             planner: PlannerConfig::paper_sim(radius),
+            faults: None,
+            recovery: RecoveryPolicy::SkipAndContinue,
         }
+    }
+
+    /// Injects faults into every round of the simulation.
+    pub fn with_faults(mut self, faults: FaultModel, recovery: RecoveryPolicy) -> Self {
+        self.faults = Some(faults);
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -76,6 +92,18 @@ pub struct LifetimeReport {
     pub sensors_ever_dead: usize,
     /// Lowest battery level observed anywhere (J).
     pub min_battery_j: f64,
+    /// Sensors permanently lost to injected hardware faults.
+    pub fault_deaths: usize,
+    /// Sum over rounds of live sensors the round failed to charge.
+    pub stranded_sensor_rounds: usize,
+    /// Total time spent recovering from faults across all rounds (s).
+    pub recovery_latency_s: f64,
+    /// Total energy spent above the fault-free cost of each round (J).
+    pub extra_energy_j: f64,
+    /// Mid-tour replans performed across all rounds.
+    pub replans: usize,
+    /// Recovery visits to the base station across all rounds.
+    pub base_returns: usize,
 }
 
 /// Runs the lifetime simulation.
@@ -103,6 +131,12 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             availability: 1.0,
             sensors_ever_dead: 0,
             min_battery_j: 0.0,
+            fault_deaths: 0,
+            stranded_sensor_rounds: 0,
+            recovery_latency_s: 0.0,
+            extra_energy_j: 0.0,
+            replans: 0,
+            base_returns: 0,
         };
     }
 
@@ -125,6 +159,19 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
     let mut charger_energy = 0.0;
     let mut rounds = 0usize;
     let mut now = 0.0f64;
+
+    // Fault execution state: permanent hardware deaths plus accumulated
+    // recovery metrics.
+    let executor = Executor::new(&demand_net, &cfg.planner)
+        .with_speed(cfg.speed_mps)
+        .with_policy(cfg.recovery);
+    let mut hw_dead: Vec<usize> = Vec::new();
+    let mut is_hw_dead = vec![false; n];
+    let mut stranded_rounds = 0usize;
+    let mut recovery_latency = 0.0;
+    let mut extra_energy = 0.0;
+    let mut replans = 0usize;
+    let mut base_returns = 0usize;
 
     // Advance all batteries by dt of pure drain, tracking downtime.
     let drain_all = |battery: &mut [f64],
@@ -150,9 +197,18 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
     while now < cfg.horizon_s {
         // Time until `trigger_count` sensors are low: simulate drain until
         // the trigger fires or the horizon ends.
+        // Hardware-dead sensors never trigger a round (they cannot be
+        // revived); with too few survivors the network just coasts out.
         let mut lows: Vec<f64> = battery
             .iter()
-            .map(|&b| ((b - cfg.trigger_level_j) / cfg.drain_w).max(0.0))
+            .zip(&is_hw_dead)
+            .map(|(&b, &hw)| {
+                if hw {
+                    f64::INFINITY
+                } else {
+                    ((b - cfg.trigger_level_j) / cfg.drain_w).max(0.0)
+                }
+            })
             .collect();
         lows.sort_by(f64::total_cmp);
         let k = cfg.trigger_count.min(n) - 1;
@@ -166,6 +222,85 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
 
         // Dispatch a round: replay the planned tour in real time.
         rounds += 1;
+        if let Some(fm) = &cfg.faults {
+            // Execute the round against this round's fault schedule and
+            // replay the realized timeline (stall-stretched legs, retry
+            // backoff, degradation-stretched dwells) against the drain.
+            let report = executor
+                .execute_with_dead(&plan, fm, (rounds - 1) as u64, &hw_dead)
+                .unwrap_or_else(|e| panic!("fault execution failed: {e}"));
+            let mut replayed_m = 0.0;
+            let mut replayed_s = 0.0;
+            for e in &report.timeline {
+                if now >= cfg.horizon_s {
+                    break;
+                }
+                let drive_t = e.drive_s.min(cfg.horizon_s - now);
+                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
+                now += drive_t;
+                let frac = if e.drive_s > 0.0 { drive_t / e.drive_s } else { 1.0 };
+                charger_energy += cfg.planner.energy.movement_energy(e.drive_m * frac);
+                if now >= cfg.horizon_s {
+                    break;
+                }
+                let wait_t = e.backoff_s.min(cfg.horizon_s - now);
+                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, wait_t);
+                now += wait_t;
+                if now >= cfg.horizon_s {
+                    break;
+                }
+                let dwell = e.dwell_s.min(cfg.horizon_s - now);
+                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
+                if dwell >= e.dwell_s {
+                    // Full dwell: every served member got its demand.
+                    for &s in &e.served {
+                        battery[s] = cfg.battery_j;
+                    }
+                } else {
+                    // Horizon cut the dwell short: proportional harvest.
+                    for &s in &e.served {
+                        let d = net.sensor(s).pos.distance(e.anchor);
+                        let harvested =
+                            cfg.planner.charging.delivered_energy(d, dwell) * e.efficiency;
+                        battery[s] = (battery[s] + harvested).min(cfg.battery_j);
+                    }
+                }
+                now += dwell;
+                charger_energy += cfg.planner.energy.charging_energy(dwell);
+                replayed_m += e.drive_m;
+                replayed_s += e.drive_s + e.backoff_s + e.dwell_s;
+            }
+            // The closing leg is in the report totals but not the
+            // timeline; replay whatever of it fits the horizon.
+            let close_s_full = (report.duration_s - replayed_s).max(0.0);
+            let close_s = close_s_full.min((cfg.horizon_s - now).max(0.0));
+            if close_s > 0.0 {
+                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, close_s);
+                now += close_s;
+                let frac = if close_s_full > 0.0 { close_s / close_s_full } else { 1.0 };
+                charger_energy += cfg
+                    .planner
+                    .energy
+                    .movement_energy((report.distance_m - replayed_m).max(0.0) * frac);
+            }
+            // Hardware deaths are permanent: the sensor goes dark now
+            // and stays dark.
+            for &s in &report.fault_deaths {
+                if !is_hw_dead[s] {
+                    is_hw_dead[s] = true;
+                    hw_dead.push(s);
+                    battery[s] = 0.0;
+                    ever_dead[s] = true;
+                    min_battery = 0.0;
+                }
+            }
+            stranded_rounds += report.stranded.len();
+            recovery_latency += report.recovery_latency_s;
+            extra_energy += report.extra_energy_j;
+            replans += report.replans;
+            base_returns += report.base_returns;
+            continue;
+        }
         let stops = &plan.stops;
         let m = stops.len();
         for (i, stop) in stops.iter().enumerate() {
@@ -203,6 +338,12 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         availability: 1.0 - downtime / total_sensor_time,
         sensors_ever_dead: ever_dead.iter().filter(|&&d| d).count(),
         min_battery_j: min_battery,
+        fault_deaths: hw_dead.len(),
+        stranded_sensor_rounds: stranded_rounds,
+        recovery_latency_s: recovery_latency,
+        extra_energy_j: extra_energy,
+        replans,
+        base_returns,
     }
 }
 
@@ -309,6 +450,71 @@ mod tests {
         let rep = simulate(&net, &cfg);
         assert_eq!(rep.rounds, 0);
         assert_eq!(rep.availability, 1.0);
+    }
+
+    #[test]
+    fn zero_fault_model_matches_perfect_execution() {
+        let net = small_net();
+        let mut base = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
+        base.horizon_s = 12.0 * 3600.0;
+        let faulty = base
+            .clone()
+            .with_faults(FaultModel::none(), RecoveryPolicy::ReplanRemaining);
+        let a = simulate(&net, &base);
+        let b = simulate(&net, &faulty);
+        assert_eq!(a.rounds, b.rounds);
+        // Per complete round the two replay paths spend identical energy;
+        // they only differ in where the horizon clips the final round
+        // (the legacy path drives the closing leg first, the executor
+        // drives it last), so allow a fraction-of-a-round tolerance.
+        assert!(
+            (a.charger_energy_j - b.charger_energy_j).abs() / a.charger_energy_j < 0.05,
+            "perfect {} vs zero-fault {}",
+            a.charger_energy_j,
+            b.charger_energy_j
+        );
+        assert!(b.extra_energy_j.abs() < 1e-6);
+        assert_eq!(b.fault_deaths, 0);
+        assert_eq!(b.stranded_sensor_rounds, 0);
+    }
+
+    #[test]
+    fn faulty_rounds_report_recovery_metrics() {
+        let net = small_net();
+        let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc)
+            .with_faults(FaultModel::with_rate(7, 0.4), RecoveryPolicy::SkipAndContinue);
+        cfg.horizon_s = 12.0 * 3600.0;
+        let rep = simulate(&net, &cfg);
+        assert!(rep.rounds > 0);
+        assert!(
+            rep.recovery_latency_s > 0.0,
+            "a 40% fault rate must cost recovery time"
+        );
+        assert!(rep.charger_energy_j.is_finite() && rep.charger_energy_j > 0.0);
+        assert!(rep.availability.is_finite());
+    }
+
+    #[test]
+    fn hardware_deaths_are_permanent() {
+        let net = small_net();
+        let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc).with_faults(
+            FaultModel {
+                death_prob: 0.5,
+                ..FaultModel::none()
+            },
+            RecoveryPolicy::ReplanRemaining,
+        );
+        cfg.horizon_s = 12.0 * 3600.0;
+        let rep = simulate(&net, &cfg);
+        assert!(rep.fault_deaths > 0, "50% per-round death rate must kill");
+        // Battery depletion can kill more (survivors coast out after the
+        // trigger stops firing), but never fewer than the hardware deaths.
+        assert!(rep.sensors_ever_dead >= rep.fault_deaths);
+        assert!(
+            rep.availability < 0.99,
+            "dead sensors must show up as downtime, got {}",
+            rep.availability
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Parallel execution of seeded experiment runs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use bc_core::Metrics;
-use crossbeam::thread;
 
 use crate::Summary;
 
@@ -13,6 +16,12 @@ use crate::Summary;
 /// random seeds" (Section VI-A) goes through here, which keeps results
 /// deterministic for a fixed `(base_seed, runs)` regardless of thread
 /// scheduling.
+///
+/// # Panics
+///
+/// If `f` panics for some seed, the panic is re-raised on the calling
+/// thread with the offending seed in the message (rather than silently
+/// dropping that run's slot).
 pub fn repeat<R, F>(runs: usize, base_seed: u64, f: F) -> Vec<R>
 where
     R: Send,
@@ -26,29 +35,62 @@ where
         .unwrap_or(1)
         .min(runs);
     if workers <= 1 {
-        return (0..runs).map(|i| f(base_seed + i as u64)).collect();
+        return (0..runs)
+            .map(|i| {
+                let seed = base_seed + i as u64;
+                catch_unwind(AssertUnwindSafe(|| f(seed))).unwrap_or_else(|payload| {
+                    panic!(
+                        "experiment worker panicked for seed {seed}: {}",
+                        panic_message(&*payload)
+                    )
+                })
+            })
+            .collect();
     }
     let mut slots: Vec<Option<R>> = (0..runs).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    thread::scope(|s| {
+    let next = AtomicUsize::new(0);
+    let failed: Mutex<Option<(u64, String)>> = Mutex::new(None);
+    let slot_refs: Vec<Mutex<&mut Option<R>>> = slots.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= runs {
                     break;
                 }
-                let r = f(base_seed + i as u64);
-                **slot_refs[i].lock().unwrap() = Some(r);
+                let seed = base_seed + i as u64;
+                match catch_unwind(AssertUnwindSafe(|| f(seed))) {
+                    Ok(r) => **slot_refs[i].lock().unwrap() = Some(r),
+                    Err(payload) => {
+                        let msg = panic_message(&*payload);
+                        let mut slot = failed.lock().unwrap();
+                        // Keep the lowest seed for a deterministic report.
+                        if slot.as_ref().is_none_or(|(s0, _)| seed < *s0) {
+                            *slot = Some((seed, msg));
+                        }
+                    }
+                }
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
+    if let Some((seed, msg)) = failed.into_inner().unwrap() {
+        panic!("experiment worker panicked for seed {seed}: {msg}");
+    }
     slots
         .into_iter()
         .map(|s| s.expect("all runs completed"))
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// Per-field summaries of a batch of [`Metrics`].
@@ -91,6 +133,27 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a[0], 200);
         assert_eq!(a[15], 230);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_with_seed() {
+        let err = std::panic::catch_unwind(|| {
+            repeat(16, 300, |seed| {
+                if seed == 307 {
+                    panic!("boom at {seed}");
+                }
+                seed
+            })
+        })
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("seed 307") && msg.contains("boom"),
+            "unhelpful panic message: {msg}"
+        );
     }
 
     #[test]

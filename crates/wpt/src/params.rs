@@ -116,7 +116,7 @@ mod tests {
         // The invariance argument: with the draw tied to the model's
         // source power, charging energy is delta*(d+beta)^2/alpha
         // regardless of transmit power.
-        assert!(SIM_CHARGE_DRAW_W > SIM_FITTED_SOURCE_W, "overhead must be positive");
+        const { assert!(SIM_CHARGE_DRAW_W > SIM_FITTED_SOURCE_W) }; // overhead is positive
     }
 
     #[test]

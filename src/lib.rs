@@ -54,8 +54,9 @@ pub use bc_wsn as wsn;
 pub mod prelude {
     pub use bc_core::planner::{self, Algorithm};
     pub use bc_core::{
-        generate_bundles, BundleStrategy, ChargingBundle, ChargingPlan, DwellPolicy, Metrics,
-        PlannerConfig, Stop,
+        generate_bundles, BundleStrategy, ChargingBundle, ChargingPlan, ConfigError, DwellPolicy,
+        ExecError, ExecutionReport, Executor, FaultModel, Metrics, PlanError, PlannerConfig,
+        RecoveryPolicy, Stop,
     };
     pub use bc_geom::{Aabb, Disk, Point};
     pub use bc_wpt::{ChargingModel, EnergyModel};

@@ -9,7 +9,7 @@ use bundle_charging::testbed::TestbedRig;
 #[test]
 fn all_algorithms_feasible_on_varied_deployments() {
     let field = Aabb::square(400.0);
-    let nets = vec![
+    let nets = [
         deploy::uniform(70, field, 2.0, 1),
         deploy::clusters(70, 5, 15.0, field, 2.0, 2),
         deploy::perturbed_grid(8, 9, field, 10.0, 2.0, 3),

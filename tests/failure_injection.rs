@@ -127,3 +127,74 @@ fn css_handles_chain_topology() {
     plan.validate(&net, &cfg.charging).unwrap();
     assert!(plan.num_charging_stops() < 12, "no combining happened");
 }
+
+/// Same (plan, fault seed, policy) -> byte-identical execution reports:
+/// the fault schedule is a pure function of the seed, never of wall
+/// clock or iteration order.
+#[test]
+fn execution_reports_are_byte_identical() {
+    let net = deploy::uniform(30, Aabb::square(200.0), 2.0, 11);
+    let cfg = PlannerConfig::paper_sim(20.0);
+    let plan = planner::bundle_charging_opt(&net, &cfg);
+    let faults = FaultModel::with_rate(42, 0.3);
+    for policy in RecoveryPolicy::ALL {
+        let exec = Executor::new(&net, &cfg).with_policy(policy);
+        let a = exec.execute(&plan, &faults, 7).unwrap();
+        let b = exec.execute(&plan, &faults, 7).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "{policy} not deterministic");
+    }
+}
+
+/// Bad inputs surface as typed errors at every layer instead of panics:
+/// planner config, per-sensor demand, and the fault model itself.
+#[test]
+fn bad_inputs_are_typed_errors_at_every_layer() {
+    let net = deploy::uniform(10, Aabb::square(100.0), 2.0, 3);
+    let cfg = PlannerConfig::paper_sim(15.0);
+    let plan = planner::bundle_charging(&net, &cfg);
+
+    let mut bad_cfg = cfg.clone();
+    bad_cfg.bundle_radius = f64::NAN;
+    assert!(matches!(
+        planner::try_run(Algorithm::Bc, &net, &bad_cfg),
+        Err(PlanError::Config(ConfigError::BadBundleRadius { .. }))
+    ));
+    assert!(matches!(
+        Executor::new(&net, &bad_cfg).execute(&plan, &FaultModel::none(), 0),
+        Err(ExecError::Config(ConfigError::BadBundleRadius { .. }))
+    ));
+
+    let bad_faults = FaultModel {
+        death_prob: 1.5,
+        ..FaultModel::none()
+    };
+    let err = Executor::new(&net, &cfg)
+        .execute(&plan, &bad_faults, 0)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Faults(_)), "got {err}");
+    // The messages name the offending field and value.
+    assert!(err.to_string().contains("death_prob"), "got {err}");
+}
+
+/// A fault-free model reproduces the planner's own metrics exactly, for
+/// every algorithm.
+#[test]
+fn clean_execution_matches_plan_metrics() {
+    let net = deploy::uniform(25, Aabb::square(150.0), 2.0, 21);
+    let cfg = PlannerConfig::paper_sim(20.0);
+    for algo in Algorithm::ALL {
+        let plan = planner::run(algo, &net, &cfg);
+        let m = plan.metrics(&cfg.energy);
+        let rep = Executor::new(&net, &cfg)
+            .execute(&plan, &FaultModel::none(), 0)
+            .unwrap();
+        assert!(
+            (rep.total_energy_j - m.total_energy_j).abs() < 1e-6,
+            "{algo}: executed {} vs planned {}",
+            rep.total_energy_j,
+            m.total_energy_j
+        );
+        assert!(rep.extra_energy_j.abs() < 1e-9, "{algo}: {}", rep.extra_energy_j);
+        assert!(rep.stranded.is_empty() && rep.fault_deaths.is_empty(), "{algo}");
+    }
+}

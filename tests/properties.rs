@@ -134,3 +134,59 @@ proptest! {
         prop_assert!(opt <= bc + 1e-6, "BC-OPT {opt} > BC {bc}");
     }
 }
+
+proptest! {
+    // Execution runs every algorithm x policy pair per case: few cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under a random fault schedule, every planner x recovery-policy
+    /// pair executes without panicking, the plan induced by what was
+    /// actually served validates on the surviving network, the energy
+    /// ledger stays finite and non-negative, and served / stranded /
+    /// dead partition the sensor set.
+    #[test]
+    fn execution_survives_random_faults(
+        seed in 0u64..1000,
+        n in 5usize..30,
+        rate in 0.0f64..0.5,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(200.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(15.0);
+        let faults = FaultModel::with_rate(seed, rate);
+        for algo in Algorithm::ALL {
+            let plan = planner::try_run(algo, &net, &cfg)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            for policy in RecoveryPolicy::ALL {
+                let rep = Executor::new(&net, &cfg)
+                    .with_policy(policy)
+                    .execute(&plan, &faults, seed)
+                    .unwrap_or_else(|e| panic!("{algo}/{policy}: {e}"));
+                prop_assert!(
+                    rep.total_energy_j.is_finite() && rep.total_energy_j >= 0.0,
+                    "{algo}/{policy}: bad energy {}", rep.total_energy_j
+                );
+                prop_assert!(rep.extra_energy_j.is_finite());
+                prop_assert!(rep.recovery_latency_s.is_finite() && rep.recovery_latency_s >= 0.0);
+                let (survivors, served) = rep.served_subplan(&net);
+                prop_assert!(
+                    served.validate(&survivors, &cfg.charging).is_ok(),
+                    "{algo}/{policy}: served subplan infeasible"
+                );
+                let mut seen = vec![0u32; n];
+                for &s in rep.served.iter().chain(&rep.stranded) {
+                    seen[s] += 1;
+                }
+                for &s in &rep.fault_deaths {
+                    // A sensor charged before dying counts as served.
+                    if !rep.served.contains(&s) {
+                        seen[s] += 1;
+                    }
+                }
+                prop_assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{algo}/{policy}: accounting broken: {seen:?}"
+                );
+            }
+        }
+    }
+}

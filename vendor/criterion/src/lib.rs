@@ -1,0 +1,162 @@
+//! Offline mini benchmark harness exposing the slice of the `criterion`
+//! API the workspace's benches use: [`Criterion`], benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`
+//! with a [`Bencher`], and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! It reports mean wall-clock time per iteration to stdout. It performs
+//! no statistics, outlier rejection, or HTML reporting — it exists so
+//! `cargo bench` runs (and `clippy --all-targets` checks) without
+//! network access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_one(&name.into(), 20, Duration::from_secs(3), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim does a single warm-up call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.measurement_time, &mut f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // One untimed warm-up sample.
+    f(&mut b);
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    let started = Instant::now();
+    for _ in 0..samples {
+        if started.elapsed() > budget {
+            break;
+        }
+        f(&mut b);
+    }
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!("bench {id}: {mean:?}/iter over {} iters", b.iters);
+}
+
+/// Passed to benchmark closures; times the body of [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let t = Instant::now();
+        let out = routine();
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls >= 3, "warm-up plus samples should run, got {calls}");
+    }
+}

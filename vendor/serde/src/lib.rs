@@ -1,0 +1,7 @@
+//! Offline facade for `serde`: re-exports the no-op derive macros so
+//! `use serde::{Serialize, Deserialize}` + `#[derive(...)]` keep
+//! compiling without network access. See `vendor/serde_derive`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! The workspace only uses serde's derives as annotations (no code path
+//! serializes anything yet), so in the offline container the derives
+//! expand to nothing. Swapping the real `serde` back in requires no
+//! source change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
