@@ -94,15 +94,15 @@ fn bench_candidates_and_cover(c: &mut Criterion) {
             b.iter(|| CandidateFamily::pair_intersection(black_box(&net), 25.0))
         });
         g.bench_function(format!("generate_greedy_{n}"), |b| {
-            b.iter(|| generate_bundles(black_box(&net), 25.0, BundleStrategy::Greedy))
+            b.iter(|| generate_bundles(black_box(&net), bc_units::Meters(25.0), BundleStrategy::Greedy))
         });
         g.bench_function(format!("generate_grid_{n}"), |b| {
-            b.iter(|| generate_bundles(black_box(&net), 25.0, BundleStrategy::Grid))
+            b.iter(|| generate_bundles(black_box(&net), bc_units::Meters(25.0), BundleStrategy::Grid))
         });
     }
     let net = dense_network(40, 3);
     g.bench_function("generate_optimal_40", |b| {
-        b.iter(|| generate_bundles(black_box(&net), 25.0, BundleStrategy::Optimal))
+        b.iter(|| generate_bundles(black_box(&net), bc_units::Meters(25.0), BundleStrategy::Optimal))
     });
     // Pure set-cover kernels on a synthetic instance.
     let universe = 120;
@@ -115,7 +115,7 @@ fn bench_candidates_and_cover(c: &mut Criterion) {
         })
         .chain(std::iter::once(BitSet::full(universe)))
         .collect();
-    let inst = Instance::new(universe, sets).unwrap();
+    let inst = Instance::new(universe, sets).unwrap_or_else(|e| panic!("instance: {e}"));
     g.bench_function("greedy_cover_240sets", |b| {
         b.iter(|| greedy_cover(black_box(&inst)))
     });

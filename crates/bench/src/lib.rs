@@ -22,7 +22,7 @@ pub fn dense_network(n: usize, seed: u64) -> Network {
 pub fn point_cloud(n: usize) -> Vec<Point> {
     (0..n)
         .map(|i| {
-            let a = i as f64;
+            let a = i as f64; // cast-ok: index to synthetic coordinate
             Point::new(
                 (a * 12.9898).sin() * 500.0 + 500.0,
                 (a * 78.233).cos() * 500.0 + 500.0,

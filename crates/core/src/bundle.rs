@@ -3,6 +3,7 @@
 use std::fmt;
 
 use bc_geom::{sed, Point};
+use bc_units::{Joules, Meters, Seconds};
 use bc_wpt::ChargingModel;
 use bc_wsn::Network;
 
@@ -20,7 +21,7 @@ pub struct ChargingBundle {
     /// The charging position of the mobile charger.
     pub anchor: Point,
     /// Radius of the smallest disk around `anchor` enclosing all members.
-    pub enclosing_radius: f64,
+    pub enclosing_radius: Meters,
 }
 
 impl ChargingBundle {
@@ -37,7 +38,7 @@ impl ChargingBundle {
         ChargingBundle {
             sensors,
             anchor: disk.center,
-            enclosing_radius: disk.radius,
+            enclosing_radius: Meters(disk.radius),
         }
     }
 
@@ -52,10 +53,12 @@ impl ChargingBundle {
     /// Panics if `sensors` is empty.
     pub fn with_anchor(sensors: Vec<usize>, anchor: Point, net: &Network) -> Self {
         assert!(!sensors.is_empty(), "a charging bundle cannot be empty");
-        let enclosing_radius = sensors
-            .iter()
-            .map(|&i| net.sensor(i).pos.distance(anchor))
-            .fold(0.0, f64::max);
+        let enclosing_radius = Meters(
+            sensors
+                .iter()
+                .map(|&i| net.sensor(i).pos.distance(anchor))
+                .fold(0.0, f64::max),
+        );
         ChargingBundle {
             sensors,
             anchor,
@@ -75,22 +78,22 @@ impl ChargingBundle {
     }
 
     /// The distance from the anchor to member sensor `i` of the network.
-    pub fn member_distance(&self, sensor: usize, net: &Network) -> f64 {
-        self.anchor.distance(net.sensor(sensor).pos)
+    pub fn member_distance(&self, sensor: usize, net: &Network) -> Meters {
+        Meters(self.anchor.distance(net.sensor(sensor).pos))
     }
 
     /// Dwell time needed at the anchor so that *every* member receives its
     /// demanded energy: the paper's
     /// `t = max_j delta_j / p_r(d_j)` (the farthest/most-demanding sensor
     /// dominates because charging is omnidirectional).
-    pub fn dwell_time(&self, net: &Network, model: &ChargingModel) -> f64 {
+    pub fn dwell_time(&self, net: &Network, model: &ChargingModel) -> Seconds {
         self.sensors
             .iter()
             .map(|&i| {
                 let s = net.sensor(i);
-                model.charge_time(self.anchor.distance(s.pos), s.demand)
+                model.charge_time(Meters(self.anchor.distance(s.pos)), s.demand)
             })
-            .fold(0.0, f64::max)
+            .fold(Seconds(0.0), Seconds::max)
     }
 
     /// Worst-case dwell time for a generation radius `r`: charges as if
@@ -98,7 +101,7 @@ impl ChargingBundle {
     /// meaningful for multi-member bundles; singletons are charged at
     /// their realized (zero) distance. See
     /// [`crate::config::DwellPolicy::RadiusWorstCase`].
-    pub fn worst_case_dwell_time(&self, r: f64, net: &Network, model: &ChargingModel) -> f64 {
+    pub fn worst_case_dwell_time(&self, r: Meters, net: &Network, model: &ChargingModel) -> Seconds {
         if self.sensors.len() <= 1 {
             return self.dwell_time(net, model);
         }
@@ -106,7 +109,7 @@ impl ChargingBundle {
             .sensors
             .iter()
             .map(|&i| net.sensor(i).demand)
-            .fold(0.0, f64::max);
+            .fold(Joules(0.0), Joules::max);
         model.charge_time(r, max_demand)
     }
 
@@ -116,7 +119,7 @@ impl ChargingBundle {
         let pts: Vec<Point> = self.sensors.iter().map(|&i| net.sensor(i).pos).collect();
         let disk = sed::smallest_enclosing_disk(&pts);
         self.anchor = disk.center;
-        self.enclosing_radius = disk.radius;
+        self.enclosing_radius = Meters(disk.radius);
     }
 }
 
@@ -127,7 +130,7 @@ impl fmt::Display for ChargingBundle {
             "Bundle[{} sensors @ {} r={:.3}]",
             self.sensors.len(),
             self.anchor,
-            self.enclosing_radius
+            self.enclosing_radius.0
         )
     }
 }
@@ -152,7 +155,7 @@ mod tests {
         let net = net_with(&[(0.0, 0.0), (10.0, 0.0)]);
         let b = ChargingBundle::from_members(vec![0, 1], &net);
         assert!(b.anchor.distance(Point::new(5.0, 0.0)) < 1e-9);
-        assert!((b.enclosing_radius - 5.0).abs() < 1e-9);
+        assert!((b.enclosing_radius.0 - 5.0).abs() < 1e-9);
     }
 
     #[test]
@@ -160,7 +163,7 @@ mod tests {
         let net = net_with(&[(3.0, 4.0)]);
         let b = ChargingBundle::from_members(vec![0], &net);
         assert_eq!(b.anchor, Point::new(3.0, 4.0));
-        assert_eq!(b.enclosing_radius, 0.0);
+        assert_eq!(b.enclosing_radius, Meters(0.0));
     }
 
     #[test]
@@ -174,12 +177,12 @@ mod tests {
             .sensors
             .iter()
             .map(|&i| b.member_distance(i, &net))
-            .fold(0.0, f64::max);
-        assert!((dwell - model.charge_time(worst, 2.0)).abs() < 1e-9);
+            .fold(Meters(0.0), Meters::max);
+        assert!((dwell - model.charge_time(worst, Joules(2.0))).abs().0 < 1e-9);
         // Dwell suffices for every member.
         for &i in &b.sensors {
             let d = b.member_distance(i, &net);
-            assert!(model.delivered_energy(d, dwell) >= 2.0 - 1e-9);
+            assert!(model.delivered_energy(d, dwell) >= Joules(2.0 - 1e-9));
         }
     }
 
@@ -187,7 +190,7 @@ mod tests {
     fn with_anchor_measures_radius_from_anchor() {
         let net = net_with(&[(0.0, 0.0), (10.0, 0.0)]);
         let b = ChargingBundle::with_anchor(vec![0, 1], Point::new(0.0, 0.0), &net);
-        assert_eq!(b.enclosing_radius, 10.0);
+        assert_eq!(b.enclosing_radius, Meters(10.0));
     }
 
     #[test]
@@ -196,7 +199,7 @@ mod tests {
         let mut b = ChargingBundle::with_anchor(vec![0, 1], Point::new(0.0, 0.0), &net);
         b.recenter(&net);
         assert!(b.anchor.distance(Point::new(5.0, 0.0)) < 1e-9);
-        assert!((b.enclosing_radius - 5.0).abs() < 1e-9);
+        assert!((b.enclosing_radius.0 - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl CandidateFamily {
             let nbrs = &nbrs[..k];
             let limit: u32 = 1 << nbrs.len();
             for mask in 0..limit {
-                if (mask.count_ones() as usize) + 1 > max_subset {
+                if (mask.count_ones() as usize) + 1 > max_subset { // cast-ok: popcount fits usize
                     continue;
                 }
                 let mut group = vec![i];
@@ -179,7 +179,7 @@ impl CandidateFamily {
             }
         }
         let mut it = keep.iter();
-        self.candidates.retain(|_| *it.next().unwrap());
+        self.candidates.retain(|_| it.next().copied().unwrap_or(false));
     }
 }
 

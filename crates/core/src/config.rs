@@ -3,6 +3,7 @@
 use std::fmt;
 
 use bc_tsp::SolveConfig;
+use bc_units::{Meters, Watts};
 use bc_wpt::{ChargingModel, EnergyModel};
 
 use crate::generation::BundleStrategy;
@@ -13,12 +14,12 @@ pub enum ConfigError {
     /// The bundle radius is not a positive finite number.
     BadBundleRadius {
         /// The rejected value.
-        value: f64,
+        value: Meters,
     },
     /// The charging model's source power is not a positive finite number.
     BadChargePower {
         /// The rejected value.
-        value: f64,
+        value: Watts,
     },
     /// The charging model's decay law is itself invalid.
     BadChargingLaw {
@@ -36,10 +37,18 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::BadBundleRadius { value } => {
-                write!(f, "bundle_radius must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "bundle_radius must be positive and finite, got {}",
+                    value.0
+                )
             }
             ConfigError::BadChargePower { value } => {
-                write!(f, "charging source power must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "charging source power must be positive and finite, got {}",
+                    value.0
+                )
             }
             ConfigError::BadChargingLaw { reason } => {
                 write!(f, "invalid charging law: {reason}")
@@ -81,15 +90,16 @@ pub enum DwellPolicy {
 ///
 /// ```
 /// use bc_core::PlannerConfig;
+/// use bc_units::Meters;
 ///
 /// let mut cfg = PlannerConfig::paper_sim(20.0);
 /// cfg.opt_distance_steps = 64; // finer BC-OPT anchor sweep
-/// assert_eq!(cfg.bundle_radius, 20.0);
+/// assert_eq!(cfg.bundle_radius, Meters(20.0));
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlannerConfig {
-    /// Charging bundle radius `r` (m).
-    pub bundle_radius: f64,
+    /// Charging bundle radius `r`.
+    pub bundle_radius: Meters,
     /// Wireless charging model (Eq. 1 parameters).
     pub charging: ChargingModel,
     /// Charger energy accounting (`E_m`, `p_c`).
@@ -114,10 +124,10 @@ pub struct PlannerConfig {
 
 impl PlannerConfig {
     /// Simulation environment of Section VI-A with the given bundle
-    /// radius.
+    /// radius (in metres).
     pub fn paper_sim(bundle_radius: f64) -> Self {
         PlannerConfig {
-            bundle_radius,
+            bundle_radius: Meters(bundle_radius),
             charging: ChargingModel::paper_sim(),
             energy: EnergyModel::paper_sim(),
             bundle_strategy: BundleStrategy::Greedy,
@@ -129,10 +139,11 @@ impl PlannerConfig {
         }
     }
 
-    /// Testbed environment of Section VII with the given bundle radius.
+    /// Testbed environment of Section VII with the given bundle radius
+    /// (in metres).
     pub fn paper_testbed(bundle_radius: f64) -> Self {
         PlannerConfig {
-            bundle_radius,
+            bundle_radius: Meters(bundle_radius),
             charging: ChargingModel::paper_testbed(),
             energy: EnergyModel::paper_testbed(),
             bundle_strategy: BundleStrategy::Greedy,
@@ -157,13 +168,13 @@ impl PlannerConfig {
     ///
     /// Returns the first [`ConfigError`] found.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if !self.bundle_radius.is_finite() || self.bundle_radius <= 0.0 {
+        if !self.bundle_radius.is_finite() || self.bundle_radius.0 <= 0.0 {
             return Err(ConfigError::BadBundleRadius {
                 value: self.bundle_radius,
             });
         }
         let power = self.charging.source_power();
-        if !power.is_finite() || power <= 0.0 {
+        if !power.is_finite() || power.0 <= 0.0 {
             return Err(ConfigError::BadChargePower { value: power });
         }
         self.charging
@@ -231,8 +242,8 @@ mod tests {
         let sim = PlannerConfig::paper_sim(10.0);
         let tb = PlannerConfig::paper_testbed(1.0);
         assert!(sim.charging.beta().unwrap() > tb.charging.beta().unwrap());
-        assert_eq!(sim.bundle_radius, 10.0);
-        assert_eq!(tb.bundle_radius, 1.0);
+        assert_eq!(sim.bundle_radius, Meters(10.0));
+        assert_eq!(tb.bundle_radius, Meters(1.0));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use bc_geom::Point;
+use bc_units::{Joules, Meters, Seconds};
 use bc_wsn::{Network, Sensor};
 
 use crate::config::ConfigError;
@@ -142,23 +143,23 @@ pub struct ExecutedStop {
     pub plan_stop: Option<usize>,
     /// Where the charger actually parked (anchors move after replans).
     pub anchor: Point,
-    /// Length of the leg driven into this stop (m).
-    pub drive_m: f64,
-    /// Time spent driving that leg, including stalls (s).
-    pub drive_s: f64,
-    /// Retry backoff waited before charging started or was given up (s).
-    pub backoff_s: f64,
-    /// Realized dwell, including degradation stretch (s); `0` if the
-    /// stop was abandoned.
-    pub dwell_s: f64,
+    /// Length of the leg driven into this stop.
+    pub drive_m: Meters,
+    /// Time spent driving that leg, including stalls.
+    pub drive_s: Seconds,
+    /// Retry backoff waited before charging started or was given up.
+    pub backoff_s: Seconds,
+    /// Realized dwell, including degradation stretch; `0` if the stop
+    /// was abandoned.
+    pub dwell_s: Seconds,
     /// Charge attempts made (`0` at base visits).
     pub attempts: u32,
     /// Charging efficiency realized at this stop (`1.0` = nominal).
     pub efficiency: f64,
     /// Original indices of the sensors fully charged here.
     pub served: Vec<usize>,
-    /// Energy delivered to the served sensors (J).
-    pub delivered_j: f64,
+    /// Energy delivered to the served sensors.
+    pub delivered_j: Joules,
 }
 
 /// Everything one fault-injected round produced, both the per-stop
@@ -190,24 +191,24 @@ pub struct ExecutionReport {
     pub base_returns: usize,
     /// Total failed charge attempts absorbed by retries.
     pub retries: u32,
-    /// Distance actually driven (m).
-    pub distance_m: f64,
-    /// Wall-clock duration of the round (s).
-    pub duration_s: f64,
+    /// Distance actually driven.
+    pub distance_m: Meters,
+    /// Wall-clock duration of the round.
+    pub duration_s: Seconds,
     /// Time spent recovering: stall delays, retry backoff, degradation
-    /// stretch and base detour legs (s).
-    pub recovery_latency_s: f64,
-    /// Movement energy actually spent (J).
-    pub move_energy_j: f64,
-    /// Charging energy actually spent (J).
-    pub charge_energy_j: f64,
-    /// Total energy actually spent (J).
-    pub total_energy_j: f64,
-    /// Energy the plan would cost fault-free (J).
-    pub nominal_energy_j: f64,
-    /// `total - nominal` (J); negative when deaths shrink the tour more
+    /// stretch and base detour legs.
+    pub recovery_latency_s: Seconds,
+    /// Movement energy actually spent.
+    pub move_energy_j: Joules,
+    /// Charging energy actually spent.
+    pub charge_energy_j: Joules,
+    /// Total energy actually spent.
+    pub total_energy_j: Joules,
+    /// Energy the plan would cost fault-free.
+    pub nominal_energy_j: Joules,
+    /// `total - nominal`; negative when deaths shrink the tour more
     /// than recovery costs.
-    pub extra_energy_j: f64,
+    pub extra_energy_j: Joules,
 }
 
 impl ExecutionReport {
@@ -386,12 +387,12 @@ struct ExecState {
     replans: usize,
     base_returns: usize,
     retries: u32,
-    distance_m: f64,
-    duration_s: f64,
-    latency_s: f64,
-    move_energy_j: f64,
-    charge_energy_j: f64,
-    nominal_energy_j: f64,
+    distance_m: Meters,
+    duration_s: Seconds,
+    latency_s: Seconds,
+    move_energy_j: Joules,
+    charge_energy_j: Joules,
+    nominal_energy_j: Joules,
 }
 
 impl ExecState {
@@ -401,7 +402,7 @@ impl ExecState {
         faults: &FaultModel,
         round: u64,
         schedule: FaultSchedule,
-        nominal_energy_j: f64,
+        nominal_energy_j: Joules,
     ) -> Self {
         let pending = plan
             .stops
@@ -431,7 +432,7 @@ impl ExecState {
             next_death: 0,
             attempts_cleared: vec![false; plan.stops.len()],
             model_max_retries: faults.max_retries,
-            model_backoff_s: faults.backoff_s,
+            model_backoff_s: faults.backoff_s.0,
             sortie_budget_j: exec.sortie_budget_j,
             schedule,
             step: 0,
@@ -444,11 +445,11 @@ impl ExecState {
             replans: 0,
             base_returns: 0,
             retries: 0,
-            distance_m: 0.0,
-            duration_s: 0.0,
-            latency_s: 0.0,
-            move_energy_j: 0.0,
-            charge_energy_j: 0.0,
+            distance_m: Meters(0.0),
+            duration_s: Seconds(0.0),
+            latency_s: Seconds(0.0),
+            move_energy_j: Joules(0.0),
+            charge_energy_j: Joules(0.0),
             nominal_energy_j,
         }
     }
@@ -485,27 +486,27 @@ impl ExecState {
         if !self.ended_at_base {
             if let (Some(pos), Some(start)) = (self.pos, self.start_pos) {
                 let d = pos.distance(start);
-                self.distance_m += d;
-                self.duration_s += d / exec.speed_mps;
-                self.move_energy_j += exec.cfg.energy.movement_energy(d);
+                self.distance_m += Meters(d);
+                self.duration_s += Seconds(d / exec.speed_mps);
+                self.move_energy_j += exec.cfg.energy.movement_energy(Meters(d));
             }
         }
         Ok(())
     }
 
-    /// Drives a leg of `d` metres with the given stall multiplier.
-    fn drive(&mut self, exec: &Executor<'_>, to: Point, stall: f64) -> (f64, f64) {
+    /// Drives a leg with the given stall multiplier.
+    fn drive(&mut self, exec: &Executor<'_>, to: Point, stall: f64) -> (Meters, Seconds) {
         let d = self.pos.map_or(0.0, |p| p.distance(to));
         let t = d / exec.speed_mps * stall;
-        self.distance_m += d;
-        self.duration_s += t;
-        self.latency_s += d / exec.speed_mps * (stall - 1.0);
-        self.move_energy_j += exec.cfg.energy.movement_energy(d);
+        self.distance_m += Meters(d);
+        self.duration_s += Seconds(t);
+        self.latency_s += Seconds(d / exec.speed_mps * (stall - 1.0));
+        self.move_energy_j += exec.cfg.energy.movement_energy(Meters(d));
         if self.start_pos.is_none() {
             self.start_pos = Some(to);
         }
         self.pos = Some(to);
-        (d, t)
+        (Meters(d), Seconds(t))
     }
 
     fn visit_base(&mut self, exec: &Executor<'_>) {
@@ -519,12 +520,12 @@ impl ExecState {
             anchor: exec.net.base(),
             drive_m: d,
             drive_s: t,
-            backoff_s: 0.0,
-            dwell_s: 0.0,
+            backoff_s: Seconds(0.0),
+            dwell_s: Seconds(0.0),
             attempts: 0,
             efficiency: 1.0,
             served: Vec::new(),
-            delivered_j: 0.0,
+            delivered_j: Joules(0.0),
         });
     }
 
@@ -538,12 +539,12 @@ impl ExecState {
                 anchor: stop.anchor(),
                 drive_m: d,
                 drive_s: t,
-                backoff_s: 0.0,
-                dwell_s: 0.0,
+                backoff_s: Seconds(0.0),
+                dwell_s: Seconds(0.0),
                 attempts: 0,
                 efficiency: 1.0,
                 served: Vec::new(),
-                delivered_j: 0.0,
+                delivered_j: Joules(0.0),
             });
             return Ok(());
         }
@@ -569,7 +570,7 @@ impl ExecState {
         // in time, so `dwell / efficiency` compensates exactly.
         let dwell = stop.dwell / efficiency;
         let mut served = Vec::new();
-        let mut delivered = 0.0;
+        let mut delivered = Joules(0.0);
         for &m in &stop.bundle.sensors {
             let orig = self.orig_of[m];
             if self.dead[orig] || self.charged[orig] {
@@ -603,8 +604,8 @@ impl ExecState {
         exec: &Executor<'_>,
         tag: usize,
         stop: Stop,
-        drive_m: f64,
-        drive_s: f64,
+        drive_m: Meters,
+        drive_s: Seconds,
         max_retries: u32,
     ) -> Result<(), ExecError> {
         let attempts = max_retries + 1;
@@ -622,11 +623,11 @@ impl ExecState {
                     drive_m,
                     drive_s,
                     backoff_s: backoff,
-                    dwell_s: 0.0,
+                    dwell_s: Seconds(0.0),
                     attempts,
                     efficiency: 1.0,
                     served: Vec::new(),
-                    delivered_j: 0.0,
+                    delivered_j: Joules(0.0),
                 });
                 Ok(())
             }
@@ -639,11 +640,11 @@ impl ExecState {
                     drive_m,
                     drive_s,
                     backoff_s: backoff,
-                    dwell_s: 0.0,
+                    dwell_s: Seconds(0.0),
                     attempts,
                     efficiency: 1.0,
                     served: Vec::new(),
-                    delivered_j: 0.0,
+                    delivered_j: Joules(0.0),
                 });
                 self.attempts_cleared[tag] = true;
                 self.pending.push_front(Item::Visit { tag, stop });
@@ -704,7 +705,7 @@ impl ExecState {
             members.remove(at);
             if members.is_empty() {
                 stop.bundle.sensors.clear();
-                stop.dwell = 0.0;
+                stop.dwell = Seconds(0.0);
                 emptied += 1;
             } else {
                 let bundle =
@@ -716,7 +717,7 @@ impl ExecState {
         if emptied > 0 {
             self.stops_abandoned += emptied;
             self.pending.retain(|it| match it {
-                Item::Visit { stop, .. } => !stop.bundle.is_empty() || stop.dwell > 0.0,
+                Item::Visit { stop, .. } => !stop.bundle.is_empty() || stop.dwell > Seconds(0.0),
                 Item::Base => true,
             });
         }
@@ -748,8 +749,13 @@ impl ExecState {
             let kept = old_stop.bundle.is_empty()
                 || old_stop.bundle.sensors.iter().any(|&m| m != ci);
             if kept {
-                let stop = rebuilt.next().expect("replan keeps every surviving stop");
-                self.pending.push_back(Item::Visit { tag, stop });
+                // `remove_sensor` keeps every surviving stop; if it ever
+                // dropped one anyway, count it abandoned instead of
+                // panicking mid-recovery.
+                match rebuilt.next() {
+                    Some(stop) => self.pending.push_back(Item::Visit { tag, stop }),
+                    None => self.stops_abandoned += 1,
+                }
             } else {
                 self.stops_abandoned += 1;
             }
@@ -791,12 +797,17 @@ impl ExecState {
         Ok(())
     }
 
-    fn backoff_total(&self, fails: u32) -> f64 {
+    fn backoff_total(&self, fails: u32) -> Seconds {
         // Failure k is followed by a backoff * 2^(k-1) wait; after the
-        // final give-up there is nothing left to wait for.
-        (0..fails)
-            .map(|k| self.model_backoff_s * (1u64 << k.min(62)) as f64)
-            .sum()
+        // final give-up there is nothing left to wait for. Doubling in
+        // f64 saturates to +inf instead of overflowing.
+        let mut total = 0.0;
+        let mut wait = self.model_backoff_s;
+        for _ in 0..fails {
+            total += wait;
+            wait *= 2.0;
+        }
+        Seconds(total)
     }
 
     fn finish(self, _exec: &Executor<'_>, plan: &ChargingPlan) -> ExecutionReport {
@@ -815,7 +826,7 @@ impl ExecState {
             .collect();
         let total = self.move_energy_j + self.charge_energy_j;
         let stops_charged = self.timeline.iter().filter(|e| !e.served.is_empty()).count();
-        ExecutionReport {
+        let report = ExecutionReport {
             round: self.round,
             policy: self.policy,
             fault_deaths: self.fault_deaths,
@@ -836,7 +847,9 @@ impl ExecState {
             nominal_energy_j: self.nominal_energy_j,
             extra_energy_j: total - self.nominal_energy_j,
             timeline: self.timeline,
-        }
+        };
+        crate::contracts::debug_assert_report_energy(&report);
+        report
     }
 }
 
@@ -859,13 +872,13 @@ mod tests {
         let (net, cfg, plan) = setup(40, 11);
         let exec = Executor::new(&net, &cfg);
         let rep = exec.execute(&plan, &FaultModel::none(), 0).unwrap();
-        assert!(rep.extra_energy_j.abs() < 1e-6, "extra {}", rep.extra_energy_j);
-        assert_eq!(rep.recovery_latency_s, 0.0);
+        assert!(rep.extra_energy_j.abs() < Joules(1e-6), "extra {}", rep.extra_energy_j);
+        assert_eq!(rep.recovery_latency_s, Seconds(0.0));
         assert_eq!(rep.served.len(), 40);
         assert!(rep.stranded.is_empty());
         assert!(rep.fault_deaths.is_empty());
         assert_eq!(rep.stops_charged, plan.num_charging_stops());
-        assert!((rep.distance_m - plan.tour_length()).abs() < 1e-6);
+        assert!((rep.distance_m - plan.tour_length()).abs() < Meters(1e-6));
     }
 
     #[test]
@@ -905,8 +918,8 @@ mod tests {
                 seen.iter().all(|&c| c == 1),
                 "{policy}: sensor accounting broken: {seen:?}"
             );
-            assert!(rep.total_energy_j.is_finite() && rep.total_energy_j >= 0.0);
-            assert!(rep.recovery_latency_s >= 0.0);
+            assert!(rep.total_energy_j.is_finite() && rep.total_energy_j >= Joules(0.0));
+            assert!(rep.recovery_latency_s >= Seconds(0.0));
         }
     }
 
@@ -983,8 +996,8 @@ mod tests {
         };
         let rep = Executor::new(&net, &cfg).execute(&plan, &fm, 0).unwrap();
         assert_eq!(rep.served.len(), 25);
-        assert!(rep.recovery_latency_s > 0.0, "degradation must cost time");
-        assert!(rep.extra_energy_j > 0.0, "longer dwells must cost energy");
+        assert!(rep.recovery_latency_s > Seconds(0.0), "degradation must cost time");
+        assert!(rep.extra_energy_j > Joules(0.0), "longer dwells must cost energy");
         for e in rep.timeline.iter().filter(|e| !e.served.is_empty()) {
             assert!(e.efficiency < 1.0);
         }
@@ -1044,7 +1057,7 @@ mod tests {
             .unwrap();
         let stalled = Executor::new(&net, &cfg).execute(&plan, &fm, 0).unwrap();
         assert!(stalled.duration_s > clean.duration_s);
-        assert!((stalled.total_energy_j - clean.total_energy_j).abs() < 1e-9);
-        assert!(stalled.recovery_latency_s > 0.0);
+        assert!((stalled.total_energy_j - clean.total_energy_j).abs() < Joules(1e-9));
+        assert!(stalled.recovery_latency_s > Seconds(0.0));
     }
 }

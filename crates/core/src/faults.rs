@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use bc_units::Seconds;
+
 /// Splitmix64-based counter RNG: every draw is a pure function of
 /// `(seed, stream, counter)`, which keeps fault schedules byte-identical
 /// across runs and platforms.
@@ -45,12 +47,13 @@ impl FaultRng {
 
     /// Uniform draw from `[0, 1)`.
     fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) // cast-ok: 53 mantissa bits to unit float
     }
 
     /// Uniform draw from `0..n` (`n > 0`).
     fn index(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
+        usize::try_from(self.next_u64() % n as u64) // cast-ok: modulus below n fits usize
+            .unwrap_or_else(|_| unreachable!("modulus below n fits usize"))
     }
 }
 
@@ -85,7 +88,7 @@ pub struct FaultModel {
     pub max_retries: u32,
     /// Base backoff between retries (s); attempt `k` backs off
     /// `backoff_s * 2^k`.
-    pub backoff_s: f64,
+    pub backoff_s: Seconds,
 }
 
 impl FaultModel {
@@ -100,7 +103,7 @@ impl FaultModel {
             stall_slowdown_max: 1.0,
             charge_fail_prob: 0.0,
             max_retries: 2,
-            backoff_s: 30.0,
+            backoff_s: Seconds(30.0),
         }
     }
 
@@ -117,7 +120,7 @@ impl FaultModel {
             stall_slowdown_max: 1.0,
             charge_fail_prob: rate,
             max_retries: 2,
-            backoff_s: 30.0,
+            backoff_s: Seconds(30.0),
         }
     }
 
@@ -152,10 +155,10 @@ impl FaultModel {
                 value: self.stall_slowdown_max,
             });
         }
-        if !self.backoff_s.is_finite() || self.backoff_s < 0.0 {
+        if !self.backoff_s.is_finite() || self.backoff_s < Seconds(0.0) {
             return Err(FaultModelError::BadMagnitude {
                 field: "backoff_s",
-                value: self.backoff_s,
+                value: self.backoff_s.0,
             });
         }
         Ok(())
@@ -304,7 +307,7 @@ impl FaultSchedule {
         self.deaths.iter().flatten().count()
             + self.degraded.iter().flatten().count()
             + self.stalls.iter().filter(|&&s| s > 1.0).count()
-            + self.failed_attempts.iter().map(|&k| k as usize).sum::<usize>()
+            + self.failed_attempts.iter().map(|&k| k as usize).sum::<usize>() // cast-ok: retry count fits usize
     }
 }
 
@@ -384,7 +387,7 @@ mod tests {
         fm.degrade_floor = 0.0;
         assert!(fm.validate().is_err());
         let mut fm = FaultModel::none();
-        fm.backoff_s = f64::NAN;
+        fm.backoff_s = Seconds(f64::NAN);
         assert!(fm.validate().is_err());
         assert!(FaultModel::with_rate(0, 0.7).validate().is_ok());
         let err = FaultModelError::BadProbability { field: "x", value: 2.0 };

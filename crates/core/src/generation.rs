@@ -13,6 +13,7 @@
 //!   greedy if the search exceeds its node budget.
 
 use bc_setcover::{exact_cover, greedy_cover, BitSet, Instance};
+use bc_units::Meters;
 use bc_wsn::Network;
 
 use crate::{Candidate, CandidateFamily, ChargingBundle};
@@ -42,14 +43,14 @@ pub enum BundleStrategy {
 /// # Panics
 ///
 /// Panics if `r` is not positive and finite.
-pub fn generate_bundles(net: &Network, r: f64, strategy: BundleStrategy) -> Vec<ChargingBundle> {
-    assert!(r.is_finite() && r > 0.0, "bundle radius must be positive");
+pub fn generate_bundles(net: &Network, r: Meters, strategy: BundleStrategy) -> Vec<ChargingBundle> {
+    assert!(r.is_finite() && r > Meters(0.0), "bundle radius must be positive");
     if net.is_empty() {
         return Vec::new();
     }
     match strategy {
-        BundleStrategy::Greedy => from_cover(net, &CandidateFamily::pair_intersection(net, r), CoverKind::Greedy),
-        BundleStrategy::Optimal => from_cover(net, &CandidateFamily::pair_intersection(net, r), CoverKind::Exact),
+        BundleStrategy::Greedy => from_cover(net, &CandidateFamily::pair_intersection(net, r.0), CoverKind::Greedy),
+        BundleStrategy::Optimal => from_cover(net, &CandidateFamily::pair_intersection(net, r.0), CoverKind::Exact),
         BundleStrategy::Grid => grid_bundles(net, r),
     }
 }
@@ -64,8 +65,14 @@ enum CoverKind {
 fn from_cover(net: &Network, family: &CandidateFamily, kind: CoverKind) -> Vec<ChargingBundle> {
     let n = net.len();
     let sets: Vec<BitSet> = family.candidates.iter().map(|c| c.members.clone()).collect();
-    let inst = Instance::new(n, sets)
-        .expect("candidate families always cover the network (each sensor is its own anchor)");
+    // Candidate families always cover the network (each sensor is its own
+    // anchor); if that invariant were ever broken, fall back to singleton
+    // bundles rather than panic — the output must still cover everyone.
+    let Ok(inst) = Instance::new(n, sets) else {
+        return (0..n)
+            .map(|i| ChargingBundle::from_members(vec![i], net))
+            .collect();
+    };
     let selected = match kind {
         CoverKind::Greedy => greedy_cover(&inst),
         CoverKind::Exact => exact_cover(&inst, Some(5_000_000)).unwrap_or_else(|| greedy_cover(&inst)),
@@ -99,20 +106,22 @@ fn materialise(net: &Network, family: &CandidateFamily, selected: &[usize]) -> V
 /// origin; every non-empty cell becomes one bundle. The anchor is the
 /// smallest-enclosing-disk center of the cell's sensors (which is always
 /// feasible since the whole cell fits in a radius-`r` disk).
-fn grid_bundles(net: &Network, r: f64) -> Vec<ChargingBundle> {
-    let side = r * std::f64::consts::SQRT_2;
+#[allow(clippy::cast_possible_truncation)] // cell indices are bounded by field-size / cell-side
+fn grid_bundles(net: &Network, r: Meters) -> Vec<ChargingBundle> {
+    let side = r.0 * std::f64::consts::SQRT_2;
     let field = net.field();
     let mut cells: std::collections::HashMap<(i64, i64), Vec<usize>> =
         std::collections::HashMap::new();
     for (i, p) in net.positions().iter().enumerate() {
-        let kx = ((p.x - field.min.x) / side).floor() as i64;
-        let ky = ((p.y - field.min.y) / side).floor() as i64;
+        let kx = ((p.x - field.min.x) / side).floor() as i64; // cast-ok: finite cell index
+        let ky = ((p.y - field.min.y) / side).floor() as i64; // cast-ok: finite cell index
         cells.entry((kx, ky)).or_default().push(i);
     }
-    let mut keys: Vec<(i64, i64)> = cells.keys().copied().collect();
-    keys.sort_unstable(); // deterministic output order
-    keys.into_iter()
-        .map(|k| ChargingBundle::from_members(cells.remove(&k).unwrap(), net))
+    let mut entries: Vec<((i64, i64), Vec<usize>)> = cells.into_iter().collect();
+    entries.sort_unstable_by_key(|&(k, _)| k); // deterministic output order
+    entries
+        .into_iter()
+        .map(|(_, members)| ChargingBundle::from_members(members, net))
         .collect()
 }
 
@@ -123,8 +132,8 @@ fn grid_bundles(net: &Network, r: f64) -> Vec<ChargingBundle> {
 ///
 /// Used to certify the exact generator's optimality in tests and to
 /// bound the greedy generator's gap without running the exact search.
-pub fn packing_lower_bound(net: &Network, r: f64) -> usize {
-    assert!(r.is_finite() && r > 0.0, "bundle radius must be positive");
+pub fn packing_lower_bound(net: &Network, r: Meters) -> usize {
+    assert!(r.is_finite() && r > Meters(0.0), "bundle radius must be positive");
     let mut excluded = vec![false; net.len()];
     let mut count = 0usize;
     for i in 0..net.len() {
@@ -132,7 +141,7 @@ pub fn packing_lower_bound(net: &Network, r: f64) -> usize {
             continue;
         }
         count += 1;
-        for j in net.within_radius(net.sensor(i).pos, 2.0 * r) {
+        for j in net.within_radius(net.sensor(i).pos, 2.0 * r.0) {
             excluded[j] = true;
         }
     }
@@ -142,10 +151,10 @@ pub fn packing_lower_bound(net: &Network, r: f64) -> usize {
 /// Checks that a bundle family is a partition of the network's sensors
 /// with every bundle radius at most `r`. Used by tests and debug
 /// assertions.
-pub fn is_valid_partition(bundles: &[ChargingBundle], net: &Network, r: f64) -> bool {
+pub fn is_valid_partition(bundles: &[ChargingBundle], net: &Network, r: Meters) -> bool {
     let mut seen = vec![false; net.len()];
     for b in bundles {
-        if b.is_empty() || b.enclosing_radius > r + 1e-6 {
+        if b.is_empty() || b.enclosing_radius > r + Meters(1e-6) {
             return false;
         }
         for &s in &b.sensors {
@@ -162,26 +171,27 @@ pub fn is_valid_partition(bundles: &[ChargingBundle], net: &Network, r: f64) -> 
 mod tests {
     use super::*;
     use bc_geom::Aabb;
+    use bc_units::Meters;
     use bc_wsn::deploy;
 
     #[test]
     fn greedy_produces_valid_partition() {
         let net = deploy::uniform(80, Aabb::square(500.0), 2.0, 21);
-        let bundles = generate_bundles(&net, 40.0, BundleStrategy::Greedy);
-        assert!(is_valid_partition(&bundles, &net, 40.0));
+        let bundles = generate_bundles(&net, Meters(40.0), BundleStrategy::Greedy);
+        assert!(is_valid_partition(&bundles, &net, Meters(40.0)));
     }
 
     #[test]
     fn grid_produces_valid_partition() {
         let net = deploy::uniform(80, Aabb::square(500.0), 2.0, 21);
-        let bundles = generate_bundles(&net, 40.0, BundleStrategy::Grid);
-        assert!(is_valid_partition(&bundles, &net, 40.0));
+        let bundles = generate_bundles(&net, Meters(40.0), BundleStrategy::Grid);
+        assert!(is_valid_partition(&bundles, &net, Meters(40.0)));
     }
 
     #[test]
     fn optimal_produces_valid_partition_and_fewest_bundles() {
         let net = deploy::uniform(25, Aabb::square(200.0), 2.0, 4);
-        let r = 40.0;
+        let r = Meters(40.0);
         let greedy = generate_bundles(&net, r, BundleStrategy::Greedy);
         let grid = generate_bundles(&net, r, BundleStrategy::Grid);
         let optimal = generate_bundles(&net, r, BundleStrategy::Optimal);
@@ -193,7 +203,7 @@ mod tests {
     #[test]
     fn greedy_within_ln_n_of_optimal() {
         let net = deploy::uniform(30, Aabb::square(300.0), 2.0, 13);
-        let r = 50.0;
+        let r = Meters(50.0);
         let greedy = generate_bundles(&net, r, BundleStrategy::Greedy).len() as f64;
         let optimal = generate_bundles(&net, r, BundleStrategy::Optimal).len() as f64;
         let bound = (30f64).ln() + 1.0;
@@ -203,7 +213,7 @@ mod tests {
     #[test]
     fn tiny_radius_gives_singletons() {
         let net = deploy::uniform(20, Aabb::square(1000.0), 2.0, 2);
-        let bundles = generate_bundles(&net, 0.5, BundleStrategy::Greedy);
+        let bundles = generate_bundles(&net, Meters(0.5), BundleStrategy::Greedy);
         // At radius 0.5 m in a 1 km field, every sensor is its own bundle
         // (with overwhelming probability under this seed).
         assert_eq!(bundles.len(), 20);
@@ -213,7 +223,7 @@ mod tests {
     #[test]
     fn huge_radius_gives_one_bundle() {
         let net = deploy::uniform(15, Aabb::square(100.0), 2.0, 7);
-        let bundles = generate_bundles(&net, 200.0, BundleStrategy::Greedy);
+        let bundles = generate_bundles(&net, Meters(200.0), BundleStrategy::Greedy);
         assert_eq!(bundles.len(), 1);
         assert_eq!(bundles[0].len(), 15);
     }
@@ -221,8 +231,8 @@ mod tests {
     #[test]
     fn larger_radius_never_needs_more_greedy_bundles() {
         let net = deploy::uniform(60, Aabb::square(400.0), 2.0, 17);
-        let small = generate_bundles(&net, 20.0, BundleStrategy::Greedy).len();
-        let large = generate_bundles(&net, 60.0, BundleStrategy::Greedy).len();
+        let small = generate_bundles(&net, Meters(20.0), BundleStrategy::Greedy).len();
+        let large = generate_bundles(&net, Meters(60.0), BundleStrategy::Greedy).len();
         assert!(large <= small);
     }
 
@@ -230,7 +240,7 @@ mod tests {
     fn empty_network() {
         let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
         for s in [BundleStrategy::Greedy, BundleStrategy::Grid, BundleStrategy::Optimal] {
-            assert!(generate_bundles(&net, 5.0, s).is_empty());
+            assert!(generate_bundles(&net, Meters(5.0), s).is_empty());
         }
     }
 
@@ -238,7 +248,7 @@ mod tests {
     fn packing_bound_sandwiches_the_optimum() {
         for seed in [1u64, 5, 9] {
             let net = deploy::uniform(25, Aabb::square(250.0), 2.0, seed);
-            for r in [20.0, 40.0, 80.0] {
+            for r in [Meters(20.0), Meters(40.0), Meters(80.0)] {
                 let lb = packing_lower_bound(&net, r);
                 let optimal = generate_bundles(&net, r, BundleStrategy::Optimal).len();
                 let greedy = generate_bundles(&net, r, BundleStrategy::Greedy).len();
@@ -257,8 +267,8 @@ mod tests {
             Aabb::square(100.0),
             2.0,
         );
-        assert_eq!(packing_lower_bound(&net, 10.0), 4);
-        assert_eq!(generate_bundles(&net, 10.0, BundleStrategy::Greedy).len(), 4);
+        assert_eq!(packing_lower_bound(&net, Meters(10.0)), 4);
+        assert_eq!(generate_bundles(&net, Meters(10.0), BundleStrategy::Greedy).len(), 4);
     }
 
     #[test]
@@ -269,7 +279,7 @@ mod tests {
             Aabb::square(100.0),
             2.0,
         );
-        let bundles = generate_bundles(&net, 10.0, BundleStrategy::Grid);
-        assert!(is_valid_partition(&bundles, &net, 10.0));
+        let bundles = generate_bundles(&net, Meters(10.0), BundleStrategy::Grid);
+        assert!(is_valid_partition(&bundles, &net, Meters(10.0)));
     }
 }

@@ -32,7 +32,7 @@
 //! let plan = planner::bundle_charging_opt(&net, &cfg);
 //! assert!(plan.validate(&net, &cfg.charging).is_ok());
 //! let m = plan.metrics(&cfg.energy);
-//! assert!(m.total_energy_j > 0.0);
+//! assert!(m.total_energy_j > bc_units::Joules(0.0));
 //! ```
 
 #![warn(missing_docs)]
@@ -40,6 +40,7 @@
 pub mod bundle;
 pub mod candidates;
 pub mod config;
+pub mod contracts;
 pub mod execute;
 pub mod faults;
 pub mod generation;
@@ -54,6 +55,7 @@ pub mod tighten;
 pub use bundle::ChargingBundle;
 pub use candidates::{Candidate, CandidateFamily};
 pub use config::{ConfigError, DwellPolicy, PlannerConfig};
+pub use contracts::ContractViolation;
 pub use execute::{ExecError, ExecutedStop, ExecutionReport, Executor, RecoveryPolicy};
 pub use faults::{FaultModel, FaultModelError, FaultSchedule};
 pub use generation::{generate_bundles, BundleStrategy};

@@ -13,6 +13,7 @@
 //! recharge deadlines.
 
 use bc_geom::Point;
+use bc_units::{Joules, MetersPerSecond, Seconds};
 use bc_wsn::{Network, Sensor};
 
 use crate::planner::{run, Algorithm};
@@ -36,26 +37,27 @@ impl MultiChargerPlan {
         self.plans.len()
     }
 
-    /// Total operating energy across the fleet (J).
-    pub fn total_energy_j(&self, energy: &bc_wpt::EnergyModel) -> f64 {
+    /// Total operating energy across the fleet.
+    pub fn total_energy_j(&self, energy: &bc_wpt::EnergyModel) -> Joules {
         self.plans
             .iter()
             .map(|p| p.metrics(energy).total_energy_j)
             .sum()
     }
 
-    /// Fleet makespan (s): the slowest charger's mission time at driving
+    /// Fleet makespan: the slowest charger's mission time at driving
     /// speed `speed_mps`.
     ///
     /// # Panics
     ///
     /// Panics if `speed_mps` is not positive.
-    pub fn makespan_s(&self, speed_mps: f64) -> f64 {
+    pub fn makespan_s(&self, speed_mps: f64) -> Seconds {
         assert!(speed_mps > 0.0, "speed must be positive");
+        let speed = MetersPerSecond(speed_mps);
         self.plans
             .iter()
-            .map(|p| p.tour_length() / speed_mps + p.total_dwell())
-            .fold(0.0, f64::max)
+            .map(|p| p.tour_length() / speed + p.total_dwell())
+            .fold(Seconds(0.0), Seconds::max)
     }
 
     /// Validates every per-charger plan against its region.
@@ -132,14 +134,15 @@ fn cluster(points: &[Point], k: usize) -> Vec<usize> {
     debug_assert!(k >= 1 && k <= n);
     // Deterministic seeding: start from the point nearest the centroid,
     // then repeatedly take the point farthest from all chosen seeds.
-    let centroid = Point::centroid(points.iter().copied()).expect("non-empty");
+    let centroid =
+        Point::centroid(points.iter().copied()).unwrap_or_else(|| Point::new(0.0, 0.0));
     let first = (0..n)
         .min_by(|&a, &b| {
             points[a]
                 .distance_squared(centroid)
                 .total_cmp(&points[b].distance_squared(centroid))
         })
-        .unwrap();
+        .unwrap_or(0);
     let mut centers = vec![points[first]];
     while centers.len() < k {
         let far = (0..n)
@@ -154,7 +157,7 @@ fn cluster(points: &[Point], k: usize) -> Vec<usize> {
                     .fold(f64::INFINITY, f64::min);
                 da.total_cmp(&db)
             })
-            .unwrap();
+            .unwrap_or(0);
         centers.push(points[far]);
     }
     // Lloyd iterations.
@@ -167,7 +170,7 @@ fn cluster(points: &[Point], k: usize) -> Vec<usize> {
                     p.distance_squared(centers[a])
                         .total_cmp(&p.distance_squared(centers[b]))
                 })
-                .unwrap();
+                .unwrap_or(0);
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;
@@ -210,7 +213,7 @@ mod tests {
         assert_eq!(fleet.num_chargers(), 1);
         let e_fleet = fleet.total_energy_j(&cfg.energy);
         let e_single = single.metrics(&cfg.energy).total_energy_j;
-        assert!((e_fleet - e_single).abs() < 1e-6);
+        assert!((e_fleet - e_single).abs() < Joules(1e-6));
     }
 
     #[test]

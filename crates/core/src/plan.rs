@@ -3,20 +3,21 @@
 use std::fmt;
 
 use bc_geom::Point;
+use bc_units::{Joules, Meters, Seconds};
 use bc_wpt::{ChargingModel, EnergyModel};
 use bc_wsn::Network;
 
 use crate::ChargingBundle;
 
 /// One stop of the charging tour: the charger parks at
-/// `bundle.anchor` and transmits for `dwell` seconds.
+/// `bundle.anchor` and transmits for `dwell`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stop {
     /// The bundle served at this stop. A zero-dwell marker stop (e.g. the
     /// base station) is represented by an empty member list.
     pub bundle: ChargingBundle,
-    /// Dwell time in seconds.
-    pub dwell: f64,
+    /// Dwell time.
+    pub dwell: Seconds,
 }
 
 impl Stop {
@@ -34,9 +35,9 @@ impl Stop {
             bundle: ChargingBundle {
                 sensors: Vec::new(),
                 anchor: p,
-                enclosing_radius: 0.0,
+                enclosing_radius: Meters(0.0),
             },
-            dwell: 0.0,
+            dwell: Seconds(0.0),
         }
     }
 
@@ -66,18 +67,18 @@ pub struct ChargingPlan {
 pub struct Metrics {
     /// Number of charging stops (bundles).
     pub num_stops: usize,
-    /// Closed tour length (m).
-    pub tour_length_m: f64,
-    /// Total charging (dwell) time (s).
-    pub charge_time_s: f64,
-    /// Movement energy (J).
-    pub move_energy_j: f64,
-    /// Charging energy (J).
-    pub charge_energy_j: f64,
-    /// Total operating energy (J) — the BTO objective.
-    pub total_energy_j: f64,
-    /// Total charging time divided by the number of sensors (s).
-    pub avg_charge_time_per_sensor_s: f64,
+    /// Closed tour length.
+    pub tour_length_m: Meters,
+    /// Total charging (dwell) time.
+    pub charge_time_s: Seconds,
+    /// Movement energy.
+    pub move_energy_j: Joules,
+    /// Charging energy.
+    pub charge_energy_j: Joules,
+    /// Total operating energy — the BTO objective.
+    pub total_energy_j: Joules,
+    /// Total charging time divided by the number of sensors.
+    pub avg_charge_time_per_sensor_s: Seconds,
 }
 
 /// A plan failed validation, or a planning operation was given input it
@@ -101,8 +102,8 @@ pub enum PlanError {
     },
     /// A sensor's energy demand is not a non-negative finite number.
     InvalidDemand {
-        /// The rejected demand (J).
-        value: f64,
+        /// The rejected demand.
+        value: Joules,
     },
     /// A sensor is assigned to more than one stop.
     DuplicateAssignment {
@@ -115,10 +116,10 @@ pub enum PlanError {
         stop: usize,
         /// The undercharged sensor.
         sensor: usize,
-        /// Energy actually delivered (J).
-        delivered: f64,
-        /// Energy demanded (J).
-        demanded: f64,
+        /// Energy actually delivered.
+        delivered: Joules,
+        /// Energy demanded.
+        demanded: Joules,
     },
 }
 
@@ -133,7 +134,11 @@ impl fmt::Display for PlanError {
                 write!(f, "sensor index {sensor} is out of bounds for a network of {len}")
             }
             PlanError::InvalidDemand { value } => {
-                write!(f, "sensor demand must be non-negative and finite, got {value}")
+                write!(
+                    f,
+                    "sensor demand must be non-negative and finite, got {} J",
+                    value.0
+                )
             }
             PlanError::DuplicateAssignment { sensor } => {
                 write!(f, "sensor {sensor} is assigned to multiple stops")
@@ -145,7 +150,8 @@ impl fmt::Display for PlanError {
                 demanded,
             } => write!(
                 f,
-                "stop {stop} delivers {delivered:.6} J to sensor {sensor}, below demand {demanded:.6} J"
+                "stop {stop} delivers {:.6} J to sensor {sensor}, below demand {:.6} J",
+                delivered.0, demanded.0
             ),
         }
     }
@@ -177,11 +183,11 @@ impl ChargingPlan {
         self.stops.iter().filter(|s| !s.bundle.is_empty()).count()
     }
 
-    /// Length of the closed tour through the stops (m).
-    pub fn tour_length(&self) -> f64 {
+    /// Length of the closed tour through the stops.
+    pub fn tour_length(&self) -> Meters {
         let n = self.stops.len();
         if n < 2 {
-            return 0.0;
+            return Meters(0.0);
         }
         let mut total = 0.0;
         for i in 0..n {
@@ -189,11 +195,11 @@ impl ChargingPlan {
                 .anchor()
                 .distance(self.stops[(i + 1) % n].anchor());
         }
-        total
+        Meters(total)
     }
 
-    /// Total dwell time across all stops (s).
-    pub fn total_dwell(&self) -> f64 {
+    /// Total dwell time across all stops.
+    pub fn total_dwell(&self) -> Seconds {
         self.stops.iter().map(|s| s.dwell).sum()
     }
 
@@ -211,9 +217,9 @@ impl ChargingPlan {
             charge_energy_j: charge_energy,
             total_energy_j: move_energy + charge_energy,
             avg_charge_time_per_sensor_s: if self.num_sensors == 0 {
-                0.0
+                Seconds(0.0)
             } else {
-                dwell / self.num_sensors as f64
+                dwell / self.num_sensors as f64 // cast-ok: sensor count to mean divisor
             },
         }
     }
@@ -236,7 +242,7 @@ impl ChargingPlan {
                 let d = stop.bundle.member_distance(s, net);
                 let delivered = model.delivered_energy(d, stop.dwell);
                 let demanded = net.sensor(s).demand;
-                if delivered + 1e-9 < demanded {
+                if delivered + Joules(1e-9) < demanded {
                     return Err(PlanError::Undercharged {
                         stop: si,
                         sensor: s,
@@ -257,7 +263,7 @@ impl fmt::Display for ChargingPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ChargingPlan({} stops, tour {:.1} m, dwell {:.1} s)",
+            "ChargingPlan({} stops, tour {:.1}, dwell {:.1})",
             self.num_charging_stops(),
             self.tour_length(),
             self.total_dwell()
@@ -301,10 +307,10 @@ mod tests {
         let energy = EnergyModel::new(2.0, 3.0);
         let plan = make_plan(&net, &model);
         let m = plan.metrics(&energy);
-        assert!((m.total_energy_j - m.move_energy_j - m.charge_energy_j).abs() < 1e-9);
-        assert!((m.move_energy_j - 2.0 * m.tour_length_m).abs() < 1e-9);
-        assert!((m.charge_energy_j - 3.0 * m.charge_time_s).abs() < 1e-9);
-        assert!((m.avg_charge_time_per_sensor_s - m.charge_time_s / 5.0).abs() < 1e-12);
+        assert!((m.total_energy_j - m.move_energy_j - m.charge_energy_j).abs().0 < 1e-9);
+        assert!((m.move_energy_j.0 - 2.0 * m.tour_length_m.0).abs() < 1e-9);
+        assert!((m.charge_energy_j.0 - 3.0 * m.charge_time_s.0).abs() < 1e-9);
+        assert!((m.avg_charge_time_per_sensor_s - m.charge_time_s / 5.0).abs().0 < 1e-12);
     }
 
     #[test]
@@ -337,7 +343,7 @@ mod tests {
         let net = deploy::uniform(2, Aabb::square(100.0), 2.0, 4);
         let model = ChargingModel::paper_sim();
         let mut plan = make_plan(&net, &model);
-        plan.stops[0].dwell *= 0.5;
+        plan.stops[0].dwell = plan.stops[0].dwell * 0.5;
         let err = plan.validate(&net, &model).unwrap_err();
         assert!(matches!(err, PlanError::Undercharged { stop: 0, .. }));
         assert!(!err.to_string().is_empty());
@@ -353,17 +359,17 @@ mod tests {
         let model = ChargingModel::paper_sim();
         let plan = make_plan(&net, &model);
         // 10 + 10 + sqrt(200)
-        assert!((plan.tour_length() - (20.0 + 200f64.sqrt())).abs() < 1e-9);
+        assert!((plan.tour_length().0 - (20.0 + 200f64.sqrt())).abs() < 1e-9);
     }
 
     #[test]
     fn empty_plan() {
         let plan = ChargingPlan::new(Vec::new(), 0);
-        assert_eq!(plan.tour_length(), 0.0);
-        assert_eq!(plan.total_dwell(), 0.0);
+        assert_eq!(plan.tour_length(), Meters(0.0));
+        assert_eq!(plan.total_dwell(), Seconds(0.0));
         let m = plan.metrics(&EnergyModel::paper_sim());
-        assert_eq!(m.total_energy_j, 0.0);
-        assert_eq!(m.avg_charge_time_per_sensor_s, 0.0);
+        assert_eq!(m.total_energy_j, Joules(0.0));
+        assert_eq!(m.avg_charge_time_per_sensor_s, Seconds(0.0));
     }
 
     #[test]

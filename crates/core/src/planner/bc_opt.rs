@@ -15,6 +15,7 @@
 //! the paper's first-order approximation).
 
 use bc_geom::{tangency, Disk, Point, Segment};
+use bc_units::{Joules, Meters};
 use bc_wsn::Network;
 
 use crate::planner::{bundle_charging, order_into_plan};
@@ -23,7 +24,10 @@ use crate::{generate_bundles, ChargingBundle, ChargingPlan, PlannerConfig, Stop}
 /// Runs BC and then optimises the tour with Algorithm 3.
 pub fn bundle_charging_opt(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
     let mut plan = bundle_charging(net, cfg);
+    let before = plan.metrics(&cfg.energy).total_energy_j;
     optimize_tour(&mut plan, net, cfg);
+    // Theorem 4: relocation only ever lowers the operating energy.
+    crate::contracts::debug_assert_no_regression(before, plan.metrics(&cfg.energy).total_energy_j);
     plan
 }
 
@@ -85,10 +89,11 @@ fn best_relocation(
     next: Point,
     net: &Network,
     cfg: &PlannerConfig,
-) -> Option<(Point, f64)> {
+) -> Option<(Point, Joules)> {
     let energy = &cfg.energy;
-    let current_cost = energy.movement_energy(prev.distance(stop.anchor()) + stop.anchor().distance(next))
-        + energy.charging_energy(stop.dwell);
+    let current_legs = prev.distance(stop.anchor()) + stop.anchor().distance(next);
+    let current_cost =
+        energy.movement_energy(Meters(current_legs)) + energy.charging_energy(stop.dwell);
 
     // Sweeping past the chord between the neighbours can never help: the
     // movement term is already minimal at the chord's closest approach.
@@ -97,15 +102,15 @@ fn best_relocation(
         return None;
     }
     let steps = cfg.opt_distance_steps.max(1);
-    let mut best: Option<(Point, f64)> = None;
+    let mut best: Option<(Point, Joules)> = None;
     for k in 1..=steps {
-        let d = d_max * k as f64 / steps as f64;
+        let d = d_max * k as f64 / steps as f64; // cast-ok: sweep-step ratio
         let t = tangency::min_focal_sum_on_circle(prev, next, &Disk::new(center, d));
         let bundle = ChargingBundle::with_anchor(stop.bundle.sensors.clone(), t.point, net);
         let dwell = bundle.dwell_time(net, &cfg.charging);
-        let cost = energy.movement_energy(t.focal_sum) + energy.charging_energy(dwell);
+        let cost = energy.movement_energy(Meters(t.focal_sum)) + energy.charging_energy(dwell);
         let gain = current_cost - cost;
-        if gain > 1e-9 && best.as_ref().is_none_or(|&(_, g)| gain > g) {
+        if gain > Joules(1e-9) && best.as_ref().is_none_or(|&(_, g)| gain > g) {
             best = Some((t.point, gain));
         }
     }
@@ -134,7 +139,7 @@ pub fn bundle_charging_opt_iterated(
         let mut candidate = order_into_plan(stops, net, &cfg.tsp, false);
         optimize_tour(&mut candidate, net, cfg);
         let e = energy_of(&candidate, cfg);
-        if e + 1e-9 < best_energy {
+        if e + Joules(1e-9) < best_energy {
             best = candidate;
             best_energy = e;
         } else {
@@ -144,7 +149,7 @@ pub fn bundle_charging_opt_iterated(
     best
 }
 
-fn energy_of(plan: &ChargingPlan, cfg: &PlannerConfig) -> f64 {
+fn energy_of(plan: &ChargingPlan, cfg: &PlannerConfig) -> Joules {
     plan.metrics(&cfg.energy).total_energy_j
 }
 
@@ -181,7 +186,7 @@ mod tests {
             let e_bc = bc.metrics(&cfg.energy).total_energy_j;
             let e_opt = opt.metrics(&cfg.energy).total_energy_j;
             assert!(
-                e_opt <= e_bc + 1e-6,
+                e_opt <= e_bc + Joules(1e-6),
                 "seed {seed}: BC-OPT {e_opt} worse than BC {e_bc}"
             );
         }
@@ -207,13 +212,13 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(10.0);
         let bc = bundle_charging(&net, &cfg);
         let opt = bundle_charging_opt(&net, &cfg);
-        assert!(opt.tour_length() < bc.tour_length() - 1.0);
+        assert!(opt.tour_length() < bc.tour_length() - Meters(1.0));
         assert!(opt.total_dwell() > bc.total_dwell());
         assert!(plan_energy(&opt, &cfg) < plan_energy(&bc, &cfg));
         assert!(opt.validate(&net, &cfg.charging).is_ok());
     }
 
-    fn plan_energy(plan: &ChargingPlan, cfg: &PlannerConfig) -> f64 {
+    fn plan_energy(plan: &ChargingPlan, cfg: &PlannerConfig) -> Joules {
         plan.metrics(&cfg.energy).total_energy_j
     }
 
@@ -247,7 +252,7 @@ mod tests {
             let iter = bundle_charging_opt_iterated(&net, &cfg, 4);
             assert!(iter.validate(&net, &cfg.charging).is_ok());
             assert!(
-                plan_energy(&iter, &cfg) <= plan_energy(&base, &cfg) + 1e-6,
+                plan_energy(&iter, &cfg) <= plan_energy(&base, &cfg) + Joules(1e-6),
                 "seed {seed}: iterated worse than plain BC-OPT"
             );
         }

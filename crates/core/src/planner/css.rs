@@ -37,7 +37,7 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
         let mut trial = current.clone();
         trial.push(s);
         let pts: Vec<Point> = trial.iter().map(|&i| net.sensor(i).pos).collect();
-        if current.is_empty() || sed::fits_in_radius(&pts, r) {
+        if current.is_empty() || sed::fits_in_radius(&pts, r.0) {
             current = trial;
         } else {
             groups.push(std::mem::take(&mut current));
@@ -73,7 +73,7 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
                     continue;
                 }
                 let d = b.anchor.distance(pos);
-                if d <= r + bc_geom::EPS && best.is_none_or(|(_, bd)| d < bd) {
+                if d <= r.0 + bc_geom::EPS && best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((j, d));
                 }
             }
@@ -90,8 +90,8 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
             for (s, j) in destinations {
                 bundles[j].sensors.push(s);
                 let d = net.sensor(s).pos.distance(bundles[j].anchor);
-                if d > bundles[j].enclosing_radius {
-                    bundles[j].enclosing_radius = d;
+                if d > bundles[j].enclosing_radius.0 {
+                    bundles[j].enclosing_radius = bc_units::Meters(d);
                 }
             }
         }
@@ -123,7 +123,7 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
             let members = plan.stops[i].bundle.sensors.clone();
             let pts: Vec<Point> = members.iter().map(|&s| net.sensor(s).pos).collect();
             let disk = sed::smallest_enclosing_disk(&pts);
-            let slack = r - disk.radius;
+            let slack = r.0 - disk.radius;
             if slack <= bc_geom::EPS {
                 continue;
             }
@@ -170,7 +170,7 @@ mod tests {
         for stop in &plan.stops {
             for &s in &stop.bundle.sensors {
                 assert!(
-                    stop.bundle.member_distance(s, &net) <= 35.0 + 1e-6,
+                    stop.bundle.member_distance(s, &net) <= bc_units::Meters(35.0 + 1e-6),
                     "member outside communication range"
                 );
             }

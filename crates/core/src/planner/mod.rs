@@ -31,6 +31,7 @@ pub use sc::single_charging;
 
 use bc_geom::Point;
 use bc_tsp::{solve, SolveConfig};
+use bc_units::Joules;
 use bc_wsn::Network;
 
 use crate::{ChargingPlan, PlanError, PlannerConfig, Stop};
@@ -52,7 +53,13 @@ pub(crate) fn order_into_plan(
     let mut ordered: Vec<Stop> = Vec::with_capacity(stops.len());
     let mut slots: Vec<Option<Stop>> = stops.into_iter().map(Some).collect();
     for &i in &tour.order {
-        ordered.push(slots[i].take().expect("tour visits each stop once"));
+        debug_assert!(
+            slots.get(i).is_some_and(Option::is_some),
+            "tour visits each stop once"
+        );
+        if let Some(stop) = slots.get_mut(i).and_then(Option::take) {
+            ordered.push(stop);
+        }
     }
     // Start the tour at the base way-point when present, for readability.
     if include_base {
@@ -101,16 +108,18 @@ pub fn try_run(
 ) -> Result<ChargingPlan, PlanError> {
     cfg.validate()?;
     for s in net.sensors() {
-        if !s.demand.is_finite() || s.demand < 0.0 {
+        if !s.demand.is_finite() || s.demand < Joules(0.0) {
             return Err(PlanError::InvalidDemand { value: s.demand });
         }
     }
-    Ok(match algo {
+    let plan = match algo {
         Algorithm::Sc => single_charging(net, cfg),
         Algorithm::Css => css(net, cfg),
         Algorithm::Bc => bundle_charging(net, cfg),
         Algorithm::BcOpt => bundle_charging_opt(net, cfg),
-    })
+    };
+    crate::contracts::debug_assert_plan(&plan, net, cfg);
+    Ok(plan)
 }
 
 /// The four compared algorithms.
@@ -200,7 +209,7 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(30.0);
         // Sensor::new rejects negative demand, so corrupt one post-hoc.
         let mut sensors = net.sensors().to_vec();
-        sensors[3].demand = f64::NAN;
+        sensors[3].demand = Joules(f64::NAN);
         let bad_net = Network::new(sensors, net.field(), net.base());
         assert!(matches!(
             try_run(Algorithm::Bc, &bad_net, &cfg),

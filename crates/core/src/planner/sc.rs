@@ -44,9 +44,9 @@ mod tests {
         let net = deploy::uniform(5, Aabb::square(100.0), 2.0, 7);
         let cfg = PlannerConfig::paper_sim(10.0);
         let plan = single_charging(&net, &cfg);
-        let expected = cfg.charging.charge_time(0.0, 2.0);
+        let expected = cfg.charging.charge_time(bc_units::Meters(0.0), bc_units::Joules(2.0));
         for stop in &plan.stops {
-            assert!((stop.dwell - expected).abs() < 1e-9);
+            assert!((stop.dwell - expected).abs() < bc_units::Seconds(1e-9));
         }
     }
 
@@ -55,7 +55,7 @@ mod tests {
         let net = deploy::uniform(20, Aabb::square(400.0), 2.0, 8);
         let cfg = PlannerConfig::paper_sim(30.0);
         let sc = single_charging(&net, &cfg);
-        let expected = 20.0 * cfg.charging.charge_time(0.0, 2.0);
-        assert!((sc.total_dwell() - expected).abs() < 1e-9);
+        let expected = cfg.charging.charge_time(bc_units::Meters(0.0), bc_units::Joules(2.0)) * 20.0;
+        assert!((sc.total_dwell() - expected).abs() < bc_units::Seconds(1e-9));
     }
 }

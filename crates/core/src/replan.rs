@@ -11,6 +11,7 @@
 //! against the updated indices in the same pass.
 
 use bc_geom::Point;
+use bc_units::{Joules, Meters, Seconds};
 use bc_wsn::{Network, Sensor, SensorId};
 
 use crate::{ChargingBundle, ChargingPlan, PlanError, PlannerConfig, Stop};
@@ -94,7 +95,9 @@ pub fn add_sensor(
     cfg: &PlannerConfig,
 ) -> Result<(Network, ChargingPlan), PlanError> {
     if !demand.is_finite() || demand < 0.0 {
-        return Err(PlanError::InvalidDemand { value: demand });
+        return Err(PlanError::InvalidDemand {
+            value: Joules(demand),
+        });
     }
     let mut sensors: Vec<Sensor> = net.sensors().to_vec();
     let new_idx = sensors.len();
@@ -116,7 +119,7 @@ pub fn add_sensor(
         .collect();
 
     // Option A: join the best absorbing stop.
-    let mut best_join: Option<(usize, ChargingBundle, f64, f64)> = None; // (stop, bundle, dwell, extra energy)
+    let mut best_join: Option<(usize, ChargingBundle, Seconds, Joules)> = None; // (stop, bundle, dwell, extra energy)
     for (si, stop) in stops.iter().enumerate() {
         if stop.bundle.is_empty() {
             continue;
@@ -124,7 +127,7 @@ pub fn add_sensor(
         let mut members = stop.bundle.sensors.clone();
         members.push(new_idx);
         let bundle = ChargingBundle::from_members(members, &new_net);
-        if bundle.enclosing_radius > cfg.bundle_radius + bc_geom::EPS {
+        if bundle.enclosing_radius > cfg.bundle_radius + Meters(bc_geom::EPS) {
             continue;
         }
         let dwell = bundle.dwell_time(&new_net, &cfg.charging);
@@ -134,8 +137,8 @@ pub fn add_sensor(
         let next = stops[(si + 1) % n].anchor();
         let old_legs = prev.distance(stop.anchor()) + stop.anchor().distance(next);
         let new_legs = prev.distance(bundle.anchor) + bundle.anchor.distance(next);
-        let extra = cfg.energy.movement_energy((new_legs - old_legs).max(0.0))
-            + cfg.energy.charging_energy((dwell - stop.dwell).max(0.0));
+        let extra = cfg.energy.movement_energy(Meters((new_legs - old_legs).max(0.0)))
+            + cfg.energy.charging_energy((dwell - stop.dwell).max(Seconds(0.0)));
         if best_join.as_ref().is_none_or(|&(_, _, _, e)| extra < e) {
             best_join = Some((si, bundle, dwell, extra));
         }
@@ -144,7 +147,7 @@ pub fn add_sensor(
     // Option B: a new singleton stop at the cheapest splice position.
     let singleton = ChargingBundle::from_members(vec![new_idx], &new_net);
     let singleton_dwell = singleton.dwell_time(&new_net, &cfg.charging);
-    let mut best_splice: Option<(usize, f64)> = None; // insert before index, extra energy
+    let mut best_splice: Option<(usize, Joules)> = None; // insert before index, extra energy
     if stops.is_empty() {
         best_splice = Some((0, cfg.energy.charging_energy(singleton_dwell)));
     } else {
@@ -153,7 +156,7 @@ pub fn add_sensor(
             let prev = stops[(i + n - 1) % n].anchor();
             let next = stops[i].anchor();
             let extra_move = prev.distance(pos) + pos.distance(next) - prev.distance(next);
-            let extra = cfg.energy.movement_energy(extra_move.max(0.0))
+            let extra = cfg.energy.movement_energy(Meters(extra_move.max(0.0)))
                 + cfg.energy.charging_energy(singleton_dwell);
             if best_splice.is_none_or(|(_, e)| extra < e) {
                 best_splice = Some((i, extra));
@@ -161,25 +164,32 @@ pub fn add_sensor(
         }
     }
 
-    let join_cost = best_join.as_ref().map(|&(_, _, _, e)| e);
-    let splice_cost = best_splice.map(|(_, e)| e);
-    let use_join = match (join_cost, splice_cost) {
-        (Some(j), Some(s)) => j <= s,
-        (Some(_), None) => true,
-        _ => false,
-    };
-    if use_join {
-        let (si, bundle, dwell, _) = best_join.expect("join cost implies a join candidate");
-        stops[si] = Stop { bundle, dwell };
-    } else {
-        let (at, _) = best_splice.expect("the splice option always exists");
-        stops.insert(
-            at,
-            Stop {
+    match (best_join, best_splice) {
+        (Some((si, bundle, dwell, join_cost)), Some((_, splice_cost)))
+            if join_cost <= splice_cost =>
+        {
+            stops[si] = Stop { bundle, dwell };
+        }
+        (Some((si, bundle, dwell, _)), None) => {
+            stops[si] = Stop { bundle, dwell };
+        }
+        (_, Some((at, _))) => {
+            stops.insert(
+                at,
+                Stop {
+                    bundle: singleton,
+                    dwell: singleton_dwell,
+                },
+            );
+        }
+        (None, None) => {
+            // The splice option is always constructed above, so this arm
+            // is unreachable; degrade gracefully instead of panicking.
+            stops.push(Stop {
                 bundle: singleton,
                 dwell: singleton_dwell,
-            },
-        );
+            });
+        }
     }
     let plan = ChargingPlan::new(stops, new_net.len());
     Ok((new_net, plan))

@@ -17,6 +17,7 @@
 use std::fmt;
 
 use bc_geom::Point;
+use bc_units::{Joules, Meters, Seconds};
 use bc_wpt::EnergyModel;
 
 use crate::{ChargingPlan, Stop};
@@ -26,12 +27,12 @@ use crate::{ChargingPlan, Stop};
 pub struct Sortie {
     /// Indices into the original plan's stop list, in visit order.
     pub stops: std::ops::Range<usize>,
-    /// Driving distance of the sortie including both base legs (m).
-    pub distance_m: f64,
-    /// Total dwell time of the sortie (s).
-    pub dwell_s: f64,
-    /// Total energy of the sortie (J).
-    pub energy_j: f64,
+    /// Driving distance of the sortie including both base legs.
+    pub distance_m: Meters,
+    /// Total dwell time of the sortie.
+    pub dwell_s: Seconds,
+    /// Total energy of the sortie.
+    pub energy_j: Joules,
 }
 
 /// A plan split into battery-feasible sorties.
@@ -41,8 +42,8 @@ pub struct SortiePlan {
     pub sorties: Vec<Sortie>,
     /// The base station all sorties start and end at.
     pub base: Point,
-    /// Total energy across sorties (J).
-    pub total_energy_j: f64,
+    /// Total energy across sorties.
+    pub total_energy_j: Joules,
 }
 
 impl SortiePlan {
@@ -56,9 +57,12 @@ impl SortiePlan {
         self.sorties.is_empty()
     }
 
-    /// The worst single-sortie energy (J), which must be within budget.
-    pub fn max_sortie_energy_j(&self) -> f64 {
-        self.sorties.iter().map(|s| s.energy_j).fold(0.0, f64::max)
+    /// The worst single-sortie energy, which must be within budget.
+    pub fn max_sortie_energy_j(&self) -> Joules {
+        self.sorties
+            .iter()
+            .map(|s| s.energy_j)
+            .fold(Joules(0.0), Joules::max)
     }
 }
 
@@ -66,7 +70,7 @@ impl fmt::Display for SortiePlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SortiePlan({} sorties, {:.1} J total, worst {:.1} J)",
+            "SortiePlan({} sorties, {:.1} total, worst {:.1})",
             self.sorties.len(),
             self.total_energy_j,
             self.max_sortie_energy_j()
@@ -82,10 +86,10 @@ pub enum SortieError {
     StopExceedsBudget {
         /// Index of the offending stop.
         stop: usize,
-        /// Energy of the singleton sortie (J).
-        energy_j: f64,
-        /// The budget (J).
-        budget_j: f64,
+        /// Energy of the singleton sortie.
+        energy_j: Joules,
+        /// The budget.
+        budget_j: Joules,
     },
     /// The budget is not a positive finite number.
     InvalidBudget,
@@ -100,7 +104,8 @@ impl fmt::Display for SortieError {
                 budget_j,
             } => write!(
                 f,
-                "stop {stop} needs {energy_j:.1} J as a singleton sortie, budget is {budget_j:.1} J"
+                "stop {stop} needs {:.1} J as a singleton sortie, budget is {:.1} J",
+                energy_j.0, budget_j.0
             ),
             SortieError::InvalidBudget => write!(f, "budget must be positive and finite"),
         }
@@ -129,46 +134,48 @@ pub fn split_into_sorties(
     if !budget_j.is_finite() || budget_j <= 0.0 {
         return Err(SortieError::InvalidBudget);
     }
+    let budget = Joules(budget_j);
     let stops: Vec<&Stop> = plan.stops.iter().filter(|s| !s.bundle.is_empty()).collect();
     let k = stops.len();
     if k == 0 {
         return Ok(SortiePlan {
             sorties: Vec::new(),
             base,
-            total_energy_j: 0.0,
+            total_energy_j: Joules(0.0),
         });
     }
 
     // segment_cost(i, j): energy of one sortie serving stops[i..j].
-    let segment = |i: usize, j: usize| -> (f64, f64, f64) {
+    let segment = |i: usize, j: usize| -> (Meters, Seconds, Joules) {
         let mut dist = base.distance(stops[i].anchor());
         for w in i..j - 1 {
             dist += stops[w].anchor().distance(stops[w + 1].anchor());
         }
         dist += stops[j - 1].anchor().distance(base);
-        let dwell: f64 = stops[i..j].iter().map(|s| s.dwell).sum();
+        let dist = Meters(dist);
+        let dwell: Seconds = stops[i..j].iter().map(|s| s.dwell).sum();
         (dist, dwell, energy.total_energy(dist, dwell))
     };
 
     // Feasibility of singletons first, for a precise error.
     for i in 0..k {
         let (_, _, e) = segment(i, i + 1);
-        if e > budget_j + 1e-9 {
+        if e > budget + Joules(1e-9) {
             return Err(SortieError::StopExceedsBudget {
                 stop: i,
                 energy_j: e,
-                budget_j,
+                budget_j: budget,
             });
         }
     }
 
     // DP over prefixes. best[j] = (energy, split point).
-    let mut best = vec![(f64::INFINITY, usize::MAX); k + 1];
-    best[0] = (0.0, usize::MAX);
+    let mut best = vec![(Joules(f64::INFINITY), usize::MAX); k + 1];
+    best[0] = (Joules(0.0), usize::MAX);
     for j in 1..=k {
         for i in (0..j).rev() {
             let (_, _, e) = segment(i, j);
-            if e > budget_j + 1e-9 {
+            if e > budget + Joules(1e-9) {
                 break; // longer segments ending at j only cost more
             }
             let cand = best[i].0 + e;
@@ -241,7 +248,9 @@ mod tests {
             .iter()
             .filter(|s| !s.bundle.is_empty())
             .map(|s| {
-                energy.total_energy(2.0 * base.distance(s.anchor()), s.dwell)
+                energy
+                    .total_energy(Meters(2.0 * base.distance(s.anchor())), s.dwell)
+                    .0
             })
             .fold(0.0, f64::max)
     }
@@ -250,20 +259,20 @@ mod tests {
     fn tight_budget_gives_more_sorties_and_respects_it() {
         let (net, cfg, plan) = setup();
         let single = split_into_sorties(&plan, net.base(), &cfg.energy, 1e9).unwrap();
-        let budget = (single.total_energy_j / 3.0)
+        let budget = (single.total_energy_j.0 / 3.0)
             .max(min_feasible_budget(&plan, net.base(), &cfg.energy) * 1.05);
         let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget).unwrap();
         assert!(sp.len() >= 2);
-        assert!(sp.max_sortie_energy_j() <= budget + 1e-6);
+        assert!(sp.max_sortie_energy_j() <= Joules(budget + 1e-6));
         // Splitting adds base legs, so the total can only grow.
-        assert!(sp.total_energy_j >= single.total_energy_j - 1e-6);
+        assert!(sp.total_energy_j >= single.total_energy_j - Joules(1e-6));
     }
 
     #[test]
     fn sorties_cover_every_stop_exactly_once() {
         let (net, cfg, plan) = setup();
         let single = split_into_sorties(&plan, net.base(), &cfg.energy, 1e9).unwrap();
-        let budget = (single.total_energy_j / 4.0)
+        let budget = (single.total_energy_j.0 / 4.0)
             .max(min_feasible_budget(&plan, net.base(), &cfg.energy) * 1.05);
         let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget).unwrap();
         let mut covered = Vec::new();
@@ -280,7 +289,7 @@ mod tests {
         // the DP must never be worse.
         let (net, cfg, plan) = setup();
         let single = split_into_sorties(&plan, net.base(), &cfg.energy, 1e9).unwrap();
-        let budget = (single.total_energy_j / 2.5)
+        let budget = (single.total_energy_j.0 / 2.5)
             .max(min_feasible_budget(&plan, net.base(), &cfg.energy) * 1.05);
         let dp = split_into_sorties(&plan, net.base(), &cfg.energy, budget).unwrap();
 
@@ -292,8 +301,8 @@ mod tests {
                 dist += stops[w].anchor().distance(stops[w + 1].anchor());
             }
             dist += stops[j - 1].anchor().distance(net.base());
-            let dwell: f64 = stops[i..j].iter().map(|s| s.dwell).sum();
-            cfg.energy.total_energy(dist, dwell)
+            let dwell: Seconds = stops[i..j].iter().map(|s| s.dwell).sum();
+            cfg.energy.total_energy(Meters(dist), dwell).0
         };
         let mut greedy_total = 0.0;
         let mut i = 0;
@@ -305,7 +314,7 @@ mod tests {
             greedy_total += seg(i, j);
             i = j;
         }
-        assert!(dp.total_energy_j <= greedy_total + 1e-6);
+        assert!(dp.total_energy_j.0 <= greedy_total + 1e-6);
     }
 
     #[test]
@@ -337,6 +346,6 @@ mod tests {
         let empty = ChargingPlan::new(Vec::new(), 0);
         let sp = split_into_sorties(&empty, net.base(), &cfg.energy, 100.0).unwrap();
         assert!(sp.is_empty());
-        assert_eq!(sp.total_energy_j, 0.0);
+        assert_eq!(sp.total_energy_j, Joules(0.0));
     }
 }

@@ -17,6 +17,7 @@
 use bc_geom::visibility::VisibilityRouter;
 use bc_geom::{Point, Polygon};
 use bc_tsp::{solve_matrix, DistanceMatrix};
+use bc_units::{Meters, Seconds};
 use bc_wsn::Network;
 
 use crate::config::DwellPolicy;
@@ -69,8 +70,8 @@ pub struct TerrainRoute {
     /// Way-point polyline per tour leg (leg `i` runs from stop `i` to
     /// stop `i + 1`, cyclically).
     pub legs: Vec<Vec<Point>>,
-    /// Total driving distance over all legs (m).
-    pub length_m: f64,
+    /// Total driving distance over all legs.
+    pub length_m: Meters,
 }
 
 impl TerrainRoute {
@@ -90,7 +91,7 @@ impl TerrainRoute {
         }
         TerrainRoute {
             legs,
-            length_m: length,
+            length_m: Meters(length),
         }
     }
 
@@ -108,9 +109,9 @@ impl TerrainRoute {
             charge_energy_j: charge_energy,
             total_energy_j: move_energy + charge_energy,
             avg_charge_time_per_sensor_s: if plan.num_sensors == 0 {
-                0.0
+                Seconds(0.0)
             } else {
-                dwell / plan.num_sensors as f64
+                dwell / plan.num_sensors as f64 // cast-ok: sensor count to mean divisor
             },
         }
     }
@@ -197,7 +198,13 @@ pub fn plan_with_terrain(
     let mut ordered = Vec::with_capacity(stops.len());
     let mut slots: Vec<Option<Stop>> = stops.into_iter().map(Some).collect();
     for &i in &order {
-        ordered.push(slots[i].take().expect("tour visits each stop once"));
+        debug_assert!(
+            slots.get(i).is_some_and(Option::is_some),
+            "tour visits each stop once"
+        );
+        if let Some(stop) = slots.get_mut(i).and_then(Option::take) {
+            ordered.push(stop);
+        }
     }
     let plan = ChargingPlan::new(ordered, net.len());
     let route = TerrainRoute::trace(&plan, terrain);
@@ -236,7 +243,7 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(30.0);
         let (plan, route) = plan_with_terrain(&net, &cfg, &Terrain::open(), Algorithm::Bc);
         assert!(plan.validate(&net, &cfg.charging).is_ok());
-        assert!((route.length_m - plan.tour_length()).abs() < 1e-6);
+        assert!((route.length_m - plan.tour_length()).abs() < Meters(1e-6));
     }
 
     #[test]
@@ -247,7 +254,7 @@ mod tests {
         let (plan, route) = plan_with_terrain(&net, &cfg, &terrain, Algorithm::Bc);
         assert!(plan.validate(&net, &cfg.charging).is_ok());
         // The routed length can never undercut the straight-line tour.
-        assert!(route.length_m >= plan.tour_length() - 1e-6);
+        assert!(route.length_m >= plan.tour_length() - Meters(1e-6));
         // Every leg is driveable.
         for leg in &route.legs {
             for w in leg.windows(2) {
@@ -274,7 +281,7 @@ mod tests {
         let naive = crate::planner::bundle_charging(&net, &cfg);
         let naive_route = TerrainRoute::trace(&naive, &terrain);
         assert!(
-            routed.length_m <= naive_route.length_m + 1e-6,
+            routed.length_m <= naive_route.length_m + Meters(1e-6),
             "routed {} vs naive {}",
             routed.length_m,
             naive_route.length_m
@@ -291,9 +298,11 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(25.0);
         let (plan, route) = plan_with_terrain(&net, &cfg, &terrain, Algorithm::Bc);
         let m = route.metrics(&plan, &cfg.energy);
-        assert!((m.charge_time_s - plan.total_dwell()).abs() < 1e-9);
-        assert!((m.tour_length_m - route.length_m).abs() < 1e-9);
-        assert!(m.total_energy_j >= plan.metrics(&cfg.energy).total_energy_j - 1e-6);
+        assert!((m.charge_time_s - plan.total_dwell()).abs() < Seconds(1e-9));
+        assert!((m.tour_length_m - route.length_m).abs() < Meters(1e-9));
+        assert!(
+            m.total_energy_j >= plan.metrics(&cfg.energy).total_energy_j - bc_units::Joules(1e-6)
+        );
     }
 
     #[test]
@@ -319,6 +328,6 @@ mod tests {
         let cfg = PlannerConfig::paper_sim(20.0);
         let (plan, route) = plan_with_terrain(&net, &cfg, &walled_terrain(), Algorithm::Sc);
         assert_eq!(plan.num_charging_stops(), net.len());
-        assert!(route.length_m > 0.0);
+        assert!(route.length_m > Meters(0.0));
     }
 }

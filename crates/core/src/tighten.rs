@@ -17,6 +17,7 @@
 //! starting point and the result is re-validated under the cross-credit
 //! semantics, so the pass is always safe to apply.
 
+use bc_units::{Joules, Meters, Seconds, Watts};
 use bc_wpt::ChargingModel;
 use bc_wsn::Network;
 
@@ -27,16 +28,16 @@ use crate::{ChargingPlan, PlanError};
 pub struct TightenReport {
     /// Gauss–Seidel sweeps executed.
     pub sweeps: usize,
-    /// Total dwell before tightening (s).
-    pub dwell_before_s: f64,
-    /// Total dwell after tightening (s).
-    pub dwell_after_s: f64,
+    /// Total dwell before tightening.
+    pub dwell_before_s: Seconds,
+    /// Total dwell after tightening.
+    pub dwell_after_s: Seconds,
 }
 
 impl TightenReport {
     /// Fraction of dwell time removed, in `[0, 1)`.
     pub fn saving(&self) -> f64 {
-        if self.dwell_before_s <= 0.0 {
+        if self.dwell_before_s.0 <= 0.0 {
             0.0
         } else {
             1.0 - self.dwell_after_s / self.dwell_before_s
@@ -45,15 +46,15 @@ impl TightenReport {
 }
 
 /// Energy delivered to every sensor by the whole tour under cross-stop
-/// crediting (J), indexed like the network.
-pub fn delivered_energy(plan: &ChargingPlan, net: &Network, model: &ChargingModel) -> Vec<f64> {
-    let mut delivered = vec![0.0; net.len()];
+/// crediting, indexed like the network.
+pub fn delivered_energy(plan: &ChargingPlan, net: &Network, model: &ChargingModel) -> Vec<Joules> {
+    let mut delivered = vec![Joules(0.0); net.len()];
     for stop in &plan.stops {
-        if stop.dwell <= 0.0 {
+        if stop.dwell.0 <= 0.0 {
             continue;
         }
         for (j, s) in net.sensors().iter().enumerate() {
-            let d = s.pos.distance(stop.anchor());
+            let d = Meters(s.pos.distance(stop.anchor()));
             delivered[j] += model.delivered_energy(d, stop.dwell);
         }
     }
@@ -88,7 +89,7 @@ pub fn validate_cross_credit(
     let delivered = delivered_energy(plan, net, model);
     for (j, &e) in delivered.iter().enumerate() {
         let demanded = net.sensor(j).demand;
-        if e + 1e-9 < demanded {
+        if e + Joules(1e-9) < demanded {
             return Err(PlanError::Undercharged {
                 stop: assigned_stop[j],
                 sensor: j,
@@ -115,18 +116,18 @@ pub fn tighten_dwells(
     model: &ChargingModel,
     max_sweeps: usize,
 ) -> TightenReport {
-    let before: Vec<f64> = plan.stops.iter().map(|s| s.dwell).collect();
-    let dwell_before_s: f64 = before.iter().sum();
+    let before: Vec<Seconds> = plan.stops.iter().map(|s| s.dwell).collect();
+    let dwell_before_s: Seconds = before.iter().sum();
     let n_stops = plan.stops.len();
 
     // Precompute received power per (stop, sensor) pair once.
-    let power: Vec<Vec<f64>> = plan
+    let power: Vec<Vec<Watts>> = plan
         .stops
         .iter()
         .map(|stop| {
             net.sensors()
                 .iter()
-                .map(|s| model.received_power(s.pos.distance(stop.anchor())))
+                .map(|s| model.received_power(Meters(s.pos.distance(stop.anchor()))))
                 .collect()
         })
         .collect();
@@ -140,27 +141,27 @@ pub fn tighten_dwells(
             if members.is_empty() {
                 continue;
             }
-            let mut needed: f64 = 0.0;
+            let mut needed = Seconds(0.0);
             for &j in members {
                 // Energy from every other stop at current dwells.
-                let mut credit = 0.0;
+                let mut credit = Joules(0.0);
                 for (k, stop) in plan.stops.iter().enumerate() {
                     if k != i {
                         credit += power[k][j] * stop.dwell;
                     }
                 }
-                let deficit = (net.sensor(j).demand - credit).max(0.0);
+                let deficit = (net.sensor(j).demand - credit).max(Joules(0.0));
                 let p = power[i][j];
-                if p > 0.0 {
+                if p.0 > 0.0 {
                     needed = needed.max(deficit / p);
-                } else if deficit > 0.0 {
+                } else if deficit.0 > 0.0 {
                     // Unreachable member: keep the original dwell.
                     needed = needed.max(before[i]);
                 }
             }
             // Dwells only shrink: never exceed the feasible start value.
             let new_dwell = needed.min(before[i]);
-            if (plan.stops[i].dwell - new_dwell).abs() > 1e-9 {
+            if (plan.stops[i].dwell - new_dwell).abs() > Seconds(1e-9) {
                 plan.stops[i].dwell = new_dwell;
                 changed = true;
             }
@@ -204,7 +205,7 @@ mod tests {
             let mut plan = planner::bundle_charging(&net, &cfg);
             let rep = tighten_dwells(&mut plan, &net, &cfg.charging, 50);
             assert!(validate_cross_credit(&plan, &net, &cfg.charging).is_ok());
-            assert!(rep.dwell_after_s <= rep.dwell_before_s + 1e-9);
+            assert!(rep.dwell_after_s <= rep.dwell_before_s + Seconds(1e-9));
         }
     }
 
@@ -252,7 +253,7 @@ mod tests {
         // Each sensor gets its 2 J from its own stop plus spillover from
         // the other stop 10 m away.
         for &e in &delivered {
-            assert!(e > 2.0);
+            assert!(e > Joules(2.0));
         }
     }
 

@@ -145,7 +145,7 @@ impl Point {
         if n == 0 {
             None
         } else {
-            Some(sum / n as f64)
+            Some(sum / n as f64) // cast-ok: point count to divisor
         }
     }
 }

@@ -109,7 +109,7 @@ impl Polygon {
         assert!(sides >= 3, "need at least 3 sides");
         assert!(radius > 0.0, "radius must be positive");
         let vertices = (0..sides)
-            .map(|i| center + Point::from_angle(i as f64 * std::f64::consts::TAU / sides as f64) * radius)
+            .map(|i| center + Point::from_angle(i as f64 * std::f64::consts::TAU / sides as f64) * radius) // cast-ok: vertex index to angle
             .collect();
         Polygon { vertices }
     }
@@ -186,7 +186,9 @@ impl Polygon {
     /// undefined.
     pub fn inflated(&self, margin: f64) -> Polygon {
         assert!(margin >= 0.0, "margin must be non-negative");
-        let c = Point::centroid(self.vertices.iter().copied()).expect("non-empty polygon");
+        let Some(c) = Point::centroid(self.vertices.iter().copied()) else {
+            panic!("inflated: polygon has no vertices");
+        };
         let vertices = self
             .vertices
             .iter()

@@ -81,16 +81,16 @@ pub fn min_focal_sum_on_circle(f1: Point, f2: Point, circle: &Disk) -> Tangency 
     // Coarse scan to bracket the global minimum.
     let mut best_i = 0usize;
     let mut best_v = f64::INFINITY;
-    let step = std::f64::consts::TAU / COARSE_SAMPLES as f64;
+    let step = std::f64::consts::TAU / COARSE_SAMPLES as f64; // cast-ok: sample count to angle step
     for i in 0..COARSE_SAMPLES {
-        let v = g(i as f64 * step);
+        let v = g(i as f64 * step); // cast-ok: sample index to angle
         if v < best_v {
             best_v = v;
             best_i = i;
         }
     }
-    let mut lo = (best_i as f64 - 1.0) * step;
-    let mut hi = (best_i as f64 + 1.0) * step;
+    let mut lo = (best_i as f64 - 1.0) * step; // cast-ok: sample index to angle
+    let mut hi = (best_i as f64 + 1.0) * step; // cast-ok: sample index to angle
 
     // Golden-section refinement inside the bracket.
     const INV_PHI: f64 = 0.618_033_988_749_894_9;
@@ -144,7 +144,7 @@ pub fn min_focal_sum_on_circle_exhaustive(
         focal_sum: f64::INFINITY,
     };
     for i in 0..h {
-        let theta = i as f64 * std::f64::consts::TAU / h as f64;
+        let theta = i as f64 * std::f64::consts::TAU / h as f64; // cast-ok: sample index to angle
         let p = circle.boundary_point(theta);
         let s = p.distance(f1) + p.distance(f2);
         if s < best.focal_sum {

@@ -89,7 +89,7 @@ impl BitSet {
 
     /// Number of elements present.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words.iter().map(|w| w.count_ones() as usize).sum() // cast-ok: popcount fits usize
     }
 
     /// Whether no element is present.
@@ -127,7 +127,7 @@ impl BitSet {
         self.words
             .iter()
             .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
+            .map(|(a, b)| (a & b).count_ones() as usize) // cast-ok: popcount fits usize
             .sum()
     }
 
@@ -141,7 +141,7 @@ impl BitSet {
     pub fn first(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
             if w != 0 {
-                return Some(wi * 64 + w.trailing_zeros() as usize);
+                return Some(wi * 64 + w.trailing_zeros() as usize); // cast-ok: bit index < 64
             }
         }
         None
@@ -203,7 +203,7 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<usize> {
         loop {
             if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
+                let bit = self.current.trailing_zeros() as usize; // cast-ok: bit index < 64
                 self.current &= self.current - 1;
                 return Some(self.word_idx * 64 + bit);
             }

@@ -79,7 +79,10 @@ pub fn exact_cover(inst: &Instance, node_budget: Option<u64>) -> Option<Vec<usiz
         }
         // Branch on the first uncovered element; order candidate sets by
         // decreasing marginal gain so good covers are found early.
-        let e = uncovered.first().expect("non-empty uncovered set");
+        let Some(e) = uncovered.first() else {
+            // `remaining > 0` guarantees an uncovered element exists.
+            return;
+        };
         let mut candidates: Vec<(usize, usize)> = ctx.containing[e]
             .iter()
             .map(|&i| (ctx.inst.sets()[i].intersection_count(uncovered), i))

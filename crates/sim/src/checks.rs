@@ -55,7 +55,7 @@ pub fn run_all(exp: &ExpConfig) -> Vec<CheckResult> {
     out.push(CheckResult {
         figure: "fig6",
         claim: "total energy has an interior optimal radius",
-        outcome: if r_opt > radii[0] && r_opt < *radii.last().unwrap() {
+        outcome: if r_opt > radii[0] && radii.last().is_some_and(|&last| r_opt < last) {
             Ok(format!("optimum at r = {r_opt} m"))
         } else {
             Err(format!("optimum at boundary r = {r_opt} m"))
@@ -94,7 +94,10 @@ pub fn run_all(exp: &ExpConfig) -> Vec<CheckResult> {
         outcome: if ok {
             Ok(format!(
                 "saves {:.0}% vs SC at the largest radius",
-                100.0 * (1.0 - opt.last().unwrap() / sc.last().unwrap())
+                100.0
+                    * (1.0
+                        - opt.last().copied().unwrap_or(f64::NAN)
+                            / sc.last().copied().unwrap_or(f64::NAN))
             ))
         } else {
             Err("BC-OPT beaten somewhere".into())
@@ -142,7 +145,7 @@ pub fn run_all(exp: &ExpConfig) -> Vec<CheckResult> {
     out.push(CheckResult {
         figure: "fig14",
         claim: "optimal radius is interior (worst-case dwell schedule)",
-        outcome: if r_wc > radii[0] && r_wc < *radii.last().unwrap() {
+        outcome: if r_wc > radii[0] && radii.last().is_some_and(|&last| r_wc < last) {
             Ok(format!("optimum at r = {r_wc} m"))
         } else {
             Err(format!("optimum at boundary r = {r_wc} m"))
@@ -177,16 +180,21 @@ pub fn run_all(exp: &ExpConfig) -> Vec<CheckResult> {
             Err(format!("SC {:.1} J vs BC {:.1} J", sc16[0], bc16[0]))
         },
     });
-    let i12 = radii.iter().position(|&r| (r - 1.2).abs() < 1e-9).unwrap();
-    let saving = 1.0 - opt16[i12] / sc16[i12];
+    let outcome = match radii.iter().position(|&r| (r - 1.2).abs() < 1e-9) {
+        Some(i12) => {
+            let saving = 1.0 - opt16[i12] / sc16[i12];
+            if (0.05..0.35).contains(&saving) {
+                Ok(format!("{:.1}% saved", 100.0 * saving))
+            } else {
+                Err(format!("{:.1}% saved", 100.0 * saving))
+            }
+        }
+        None => Err("no r = 1.2 m row in the fig16 sweep".into()),
+    };
     out.push(CheckResult {
         figure: "fig16",
         claim: "BC-OPT saves on the order of 13% at r = 1.2 m",
-        outcome: if (0.05..0.35).contains(&saving) {
-            Ok(format!("{:.1}% saved", 100.0 * saving))
-        } else {
-            Err(format!("{:.1}% saved", 100.0 * saving))
-        },
+        outcome,
     });
 
     out

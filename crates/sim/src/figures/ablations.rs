@@ -47,7 +47,7 @@ fn tsp_pipeline(exp: &ExpConfig) -> Table {
         cfg.tsp.or_opt = *or_opt;
         cfg.tsp.exact_threshold = 0;
         let s = sweep_point(100, DENSE_FIELD_SIDE_M, Algorithm::BcOpt, &cfg, exp);
-        t.push_row(&[vi as f64, s.tour_length_m.mean, s.total_energy_j.mean]);
+        t.push_row(&[vi as f64, s.tour_length_m.mean, s.total_energy_j.mean]); // cast-ok: variant index to table column
     }
     t
 }
@@ -88,12 +88,12 @@ fn tightening(exp: &ExpConfig) -> Table {
             let cfg = PlannerConfig::paper_sim(25.0);
             let mut plan = planner::bundle_charging(&net, &cfg);
             let rep = tighten::tighten_dwells(&mut plan, &net, &cfg.charging, 60);
-            (rep.dwell_before_s, rep.dwell_after_s)
+            (rep.dwell_before_s.0, rep.dwell_after_s.0)
         });
         let before = Summary::of(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
         let after = Summary::of(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
         t.push_row(&[
-            n as f64,
+            n as f64, // cast-ok: sensor count to table column
             before.mean,
             after.mean,
             100.0 * (1.0 - after.mean / before.mean),
@@ -115,7 +115,7 @@ fn sortie_budgets(exp: &ExpConfig) -> Table {
             let cfg = PlannerConfig::paper_sim(30.0);
             let plan = planner::bundle_charging(&net, &cfg);
             let single = split_into_sorties(&plan, net.base(), &cfg.energy, f64::MAX / 2.0)
-                .expect("unbounded split");
+                .unwrap_or_else(|e| panic!("unbounded split: {e}"));
             // Floor the budget at the worst singleton sortie.
             let floor = plan
                 .stops
@@ -123,14 +123,14 @@ fn sortie_budgets(exp: &ExpConfig) -> Table {
                 .filter(|s| !s.bundle.is_empty())
                 .map(|s| {
                     cfg.energy
-                        .total_energy(2.0 * net.base().distance(s.anchor()), s.dwell)
+                        .total_energy(bc_units::Meters(2.0 * net.base().distance(s.anchor())), s.dwell)
                 })
-                .fold(0.0, f64::max);
+                .fold(bc_units::Joules(0.0), bc_units::Joules::max);
             let budget = (single.total_energy_j * frac).max(floor * 1.01);
-            let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget)
-                .expect("budget floored to feasibility");
+            let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget.0)
+                .unwrap_or_else(|e| panic!("budget floored to feasibility: {e}"));
             (
-                sp.len() as f64,
+                sp.len() as f64, // cast-ok: sortie count to table column
                 100.0 * (sp.total_energy_j / single.total_energy_j - 1.0),
             )
         });

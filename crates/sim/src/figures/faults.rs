@@ -63,9 +63,9 @@ fn round_outcome(seed: u64, rate: f64) -> RoundOutcome {
             .with_policy(policy)
             .execute(&plan, &faults, 0)
             .unwrap_or_else(|e| panic!("{policy} at rate {rate}: {e}"));
-        out.extra_energy_j[i] = rep.extra_energy_j;
-        out.latency_s[i] = rep.recovery_latency_s;
-        out.stranded[i] = rep.stranded.len() as f64;
+        out.extra_energy_j[i] = rep.extra_energy_j.0;
+        out.latency_s[i] = rep.recovery_latency_s.0;
+        out.stranded[i] = rep.stranded.len() as f64; // cast-ok: stranded count to table column
     }
     out
 }
@@ -120,14 +120,14 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
                 );
                 let mut cfg = LifetimeConfig::paper_sim(LIFETIME_SENSORS, 20.0, Algorithm::Bc)
                     .with_faults(FaultModel::with_rate(seed, rate), policy);
-                cfg.horizon_s = 12.0 * 3600.0;
+                cfg.horizon_s = bc_units::Seconds(12.0 * 3600.0);
                 simulate(&net, &cfg)
             });
             row[1 + i] =
                 100.0 * Summary::of(&reps.iter().map(|r| r.availability).collect::<Vec<_>>()).mean;
             if i == 0 {
                 row[4] =
-                    Summary::of(&reps.iter().map(|r| r.fault_deaths as f64).collect::<Vec<_>>()).mean;
+                    Summary::of(&reps.iter().map(|r| r.fault_deaths as f64).collect::<Vec<_>>()).mean; // cast-ok: death count to summary
             }
         }
         avail.push_row(&row);

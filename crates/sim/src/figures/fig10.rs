@@ -48,11 +48,11 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
         let opt = bundle_charging_opt(&net, &cfg);
         t.push_row(&[
             r,
-            bc.num_charging_stops() as f64,
-            bc.tour_length(),
-            opt.tour_length(),
-            bc.metrics(&cfg.energy).total_energy_j,
-            opt.metrics(&cfg.energy).total_energy_j,
+            bc.num_charging_stops() as f64, // cast-ok: stop count to table column
+            bc.tour_length().0,
+            opt.tour_length().0,
+            bc.metrics(&cfg.energy).total_energy_j.0,
+            opt.metrics(&cfg.energy).total_energy_j.0,
         ]);
     }
     vec![t]

@@ -31,9 +31,9 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
             .iter()
             .map(|&a| sweep_point(n, DENSE_FIELD_SIDE_M, a, &cfg, exp))
             .collect();
-        energy.push_row(&row(n as f64, &per_algo, |s| s.total_energy_j.mean));
-        tour.push_row(&row(n as f64, &per_algo, |s| s.tour_length_m.mean));
-        avg_time.push_row(&row(n as f64, &per_algo, |s| {
+        energy.push_row(&row(n as f64, &per_algo, |s| s.total_energy_j.mean)); // cast-ok: sensor count to table column
+        tour.push_row(&row(n as f64, &per_algo, |s| s.tour_length_m.mean)); // cast-ok: sensor count to table column
+        avg_time.push_row(&row(n as f64, &per_algo, |s| { // cast-ok: sensor count to table column
             s.avg_charge_time_per_sensor_s.mean
         }));
     }

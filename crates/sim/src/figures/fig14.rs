@@ -59,8 +59,12 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
 
 /// The radius minimising a named energy column of the panel-(b) table.
 pub fn optimal_radius(table: &Table, column: &str) -> f64 {
-    let radii = table.column("radius_m").expect("radius column");
-    let energy = table.column(column).expect("energy column");
+    let (Some(radii), Some(energy)) = (table.column("radius_m"), table.column(column)) else {
+        return f64::NAN; // misnamed column: surfaces as a failed check
+    };
+    if energy.is_empty() {
+        return f64::NAN;
+    }
     let mut best = 0usize;
     for i in 1..energy.len() {
         if energy[i] < energy[best] {

@@ -51,12 +51,12 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
             .execute(&opt);
         a.push_row(&[
             r,
-            rep_sc.total_energy_j(),
-            rep_bc.total_energy_j(),
-            rep_opt.total_energy_j(),
+            rep_sc.total_energy_j().0,
+            rep_bc.total_energy_j().0,
+            rep_opt.total_energy_j().0,
             noisy.fraction_charged(),
         ]);
-        b.push_row(&[r, rep_sc.driven_m, rep_bc.driven_m, rep_opt.driven_m]);
+        b.push_row(&[r, rep_sc.driven_m.0, rep_bc.driven_m.0, rep_opt.driven_m.0]);
     }
     vec![a, b]
 }

@@ -43,8 +43,12 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
 
 /// The radius minimising mean BC total energy in a generated table.
 pub fn optimal_radius(table: &Table) -> f64 {
-    let radii = table.column("radius_m").expect("radius column");
-    let energy = table.column("total_j").expect("energy column");
+    let (Some(radii), Some(energy)) = (table.column("radius_m"), table.column("total_j")) else {
+        return f64::NAN; // misnamed column: surfaces as a failed check
+    };
+    if energy.is_empty() {
+        return f64::NAN;
+    }
     let mut best = 0usize;
     for i in 1..energy.len() {
         if energy[i] < energy[best] {

@@ -69,7 +69,7 @@ impl ExpConfig {
 pub const DENSE_FIELD_SIDE_M: f64 = 300.0;
 
 /// Per-sensor demand (J) of the simulation environment.
-pub const SIM_DEMAND_J: f64 = bc_wpt::params::SIM_DELTA_J;
+pub const SIM_DEMAND_J: f64 = bc_wpt::params::SIM_DELTA_J.0;
 
 /// Runs `algo` on `runs` seeded uniform deployments and averages the
 /// metrics.

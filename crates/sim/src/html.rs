@@ -45,7 +45,7 @@ pub fn render_report(title: &str, tables: &[Table], svgs: &[(String, String)]) -
             out.push_str("<tr>");
             for v in row {
                 let cell = if v.fract() == 0.0 && v.abs() < 1e12 {
-                    format!("{}", *v as i64)
+                    format!("{v:.0}")
                 } else {
                     format!("{v:.3}")
                 };

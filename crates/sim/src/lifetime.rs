@@ -17,24 +17,25 @@
 
 use bc_core::planner::{run, Algorithm};
 use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
+use bc_units::{Joules, Meters, MetersPerSecond, Seconds, Watts};
 use bc_wsn::Network;
 
 /// Configuration of a lifetime simulation.
 #[derive(Debug, Clone)]
 pub struct LifetimeConfig {
-    /// Simulated wall-clock horizon (s).
-    pub horizon_s: f64,
-    /// Continuous drain per sensor (W).
-    pub drain_w: f64,
-    /// Usable battery capacity per sensor (J). Batteries start full.
-    pub battery_j: f64,
+    /// Simulated wall-clock horizon.
+    pub horizon_s: Seconds,
+    /// Continuous drain per sensor.
+    pub drain_w: Watts,
+    /// Usable battery capacity per sensor. Batteries start full.
+    pub battery_j: Joules,
     /// A round is dispatched when this many sensors fall below
     /// `trigger_level_j`.
     pub trigger_count: usize,
-    /// Battery level (J) below which a sensor counts as "low".
-    pub trigger_level_j: f64,
-    /// Charger driving speed (m/s).
-    pub speed_mps: f64,
+    /// Battery level below which a sensor counts as "low".
+    pub trigger_level_j: Joules,
+    /// Charger driving speed.
+    pub speed_mps: MetersPerSecond,
     /// Planner used for every round.
     pub algorithm: Algorithm,
     /// Planner configuration (bundle radius, models).
@@ -56,12 +57,12 @@ impl LifetimeConfig {
     /// driving and dwelling) completes before anyone runs dry.
     pub fn paper_sim(n_sensors: usize, radius: f64, algorithm: Algorithm) -> Self {
         LifetimeConfig {
-            horizon_s: 24.0 * 3600.0,
-            drain_w: 2e-4,
-            battery_j: 2.0,
+            horizon_s: Seconds(24.0 * 3600.0),
+            drain_w: Watts(2e-4),
+            battery_j: Joules(2.0),
             trigger_count: (n_sensors / 4).max(1),
-            trigger_level_j: 1.0,
-            speed_mps: 1.0,
+            trigger_level_j: Joules(1.0),
+            speed_mps: MetersPerSecond(1.0),
             algorithm,
             planner: PlannerConfig::paper_sim(radius),
             faults: None,
@@ -82,24 +83,24 @@ impl LifetimeConfig {
 pub struct LifetimeReport {
     /// Charging rounds dispatched within the horizon.
     pub rounds: usize,
-    /// Total charger energy across all rounds (J).
-    pub charger_energy_j: f64,
+    /// Total charger energy across all rounds.
+    pub charger_energy_j: Joules,
     /// Sensor-seconds spent dead (battery at zero).
-    pub downtime_sensor_s: f64,
+    pub downtime_sensor_s: Seconds,
     /// Fraction of sensor-time alive, in `[0, 1]`.
     pub availability: f64,
     /// Number of sensors that ever died.
     pub sensors_ever_dead: usize,
-    /// Lowest battery level observed anywhere (J).
-    pub min_battery_j: f64,
+    /// Lowest battery level observed anywhere.
+    pub min_battery_j: Joules,
     /// Sensors permanently lost to injected hardware faults.
     pub fault_deaths: usize,
     /// Sum over rounds of live sensors the round failed to charge.
     pub stranded_sensor_rounds: usize,
-    /// Total time spent recovering from faults across all rounds (s).
-    pub recovery_latency_s: f64,
-    /// Total energy spent above the fault-free cost of each round (J).
-    pub extra_energy_j: f64,
+    /// Total time spent recovering from faults across all rounds.
+    pub recovery_latency_s: Seconds,
+    /// Total energy spent above the fault-free cost of each round.
+    pub extra_energy_j: Joules,
     /// Mid-tour replans performed across all rounds.
     pub replans: usize,
     /// Recovery visits to the base station across all rounds.
@@ -119,22 +120,29 @@ pub struct LifetimeReport {
 /// Panics if the configuration is degenerate (non-positive horizon,
 /// speed, or battery).
 pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
-    assert!(cfg.horizon_s > 0.0, "horizon must be positive");
-    assert!(cfg.speed_mps > 0.0, "speed must be positive");
-    assert!(cfg.battery_j > 0.0, "battery must be positive");
+    // The replay loops below are dense scalar arithmetic; work in raw f64
+    // locals and re-wrap into quantities at the report boundary.
+    let horizon = cfg.horizon_s.0;
+    let drain = cfg.drain_w.0;
+    let capacity = cfg.battery_j.0;
+    let trigger_level = cfg.trigger_level_j.0;
+    let speed = cfg.speed_mps.0;
+    assert!(horizon > 0.0, "horizon must be positive");
+    assert!(speed > 0.0, "speed must be positive");
+    assert!(capacity > 0.0, "battery must be positive");
     let n = net.len();
     if n == 0 {
         return LifetimeReport {
             rounds: 0,
-            charger_energy_j: 0.0,
-            downtime_sensor_s: 0.0,
+            charger_energy_j: Joules(0.0),
+            downtime_sensor_s: Seconds(0.0),
             availability: 1.0,
             sensors_ever_dead: 0,
-            min_battery_j: 0.0,
+            min_battery_j: Joules(0.0),
             fault_deaths: 0,
             stranded_sensor_rounds: 0,
-            recovery_latency_s: 0.0,
-            extra_energy_j: 0.0,
+            recovery_latency_s: Seconds(0.0),
+            extra_energy_j: Joules(0.0),
             replans: 0,
             base_returns: 0,
         };
@@ -146,16 +154,16 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         let sensors: Vec<_> = demand_net
             .sensors()
             .iter()
-            .map(|s| bc_wsn::Sensor::new(s.id, s.pos, cfg.battery_j))
+            .map(|s| bc_wsn::Sensor::new(s.id, s.pos, capacity))
             .collect();
         demand_net = Network::new(sensors, net.field(), net.base());
         run(cfg.algorithm, &demand_net, &cfg.planner)
     };
 
-    let mut battery = vec![cfg.battery_j; n];
+    let mut battery = vec![capacity; n];
     let mut ever_dead = vec![false; n];
     let mut downtime = 0.0;
-    let mut min_battery = cfg.battery_j;
+    let mut min_battery = capacity;
     let mut charger_energy = 0.0;
     let mut rounds = 0usize;
     let mut now = 0.0f64;
@@ -163,7 +171,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
     // Fault execution state: permanent hardware deaths plus accumulated
     // recovery metrics.
     let executor = Executor::new(&demand_net, &cfg.planner)
-        .with_speed(cfg.speed_mps)
+        .with_speed(speed)
         .with_policy(cfg.recovery);
     let mut hw_dead: Vec<usize> = Vec::new();
     let mut is_hw_dead = vec![false; n];
@@ -180,12 +188,12 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                          min_battery: &mut f64,
                          dt: f64| {
         for (b, dead) in battery.iter_mut().zip(ever_dead.iter_mut()) {
-            let depleted_after = (*b - cfg.drain_w * dt).max(0.0);
+            let depleted_after = (*b - drain * dt).max(0.0);
             if *b <= 0.0 {
                 *downtime += dt;
             } else if depleted_after <= 0.0 {
                 // Died partway through the interval.
-                let time_alive = *b / cfg.drain_w;
+                let time_alive = *b / drain;
                 *downtime += (dt - time_alive).max(0.0);
                 *dead = true;
             }
@@ -194,7 +202,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         }
     };
 
-    while now < cfg.horizon_s {
+    while now < horizon {
         // Time until `trigger_count` sensors are low: simulate drain until
         // the trigger fires or the horizon ends.
         // Hardware-dead sensors never trigger a round (they cannot be
@@ -206,17 +214,17 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                 if hw {
                     f64::INFINITY
                 } else {
-                    ((b - cfg.trigger_level_j) / cfg.drain_w).max(0.0)
+                    ((b - trigger_level) / drain).max(0.0)
                 }
             })
             .collect();
         lows.sort_by(f64::total_cmp);
         let k = cfg.trigger_count.min(n) - 1;
         let wait = lows[k];
-        let dt = wait.min(cfg.horizon_s - now);
+        let dt = wait.min(horizon - now);
         drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dt);
         now += dt;
-        if now >= cfg.horizon_s {
+        if now >= horizon {
             break;
         }
 
@@ -226,54 +234,59 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             // Execute the round against this round's fault schedule and
             // replay the realized timeline (stall-stretched legs, retry
             // backoff, degradation-stretched dwells) against the drain.
+            let round_seed = u64::try_from(rounds - 1).unwrap_or(u64::MAX);
             let report = executor
-                .execute_with_dead(&plan, fm, (rounds - 1) as u64, &hw_dead)
+                .execute_with_dead(&plan, fm, round_seed, &hw_dead)
                 .unwrap_or_else(|e| panic!("fault execution failed: {e}"));
             let mut replayed_m = 0.0;
             let mut replayed_s = 0.0;
             for e in &report.timeline {
-                if now >= cfg.horizon_s {
+                if now >= horizon {
                     break;
                 }
-                let drive_t = e.drive_s.min(cfg.horizon_s - now);
+                let drive_t = e.drive_s.0.min(horizon - now);
                 drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
                 now += drive_t;
-                let frac = if e.drive_s > 0.0 { drive_t / e.drive_s } else { 1.0 };
-                charger_energy += cfg.planner.energy.movement_energy(e.drive_m * frac);
-                if now >= cfg.horizon_s {
+                let frac = if e.drive_s.0 > 0.0 { drive_t / e.drive_s.0 } else { 1.0 };
+                charger_energy += cfg.planner.energy.movement_energy(e.drive_m * frac).0;
+                if now >= horizon {
                     break;
                 }
-                let wait_t = e.backoff_s.min(cfg.horizon_s - now);
+                let wait_t = e.backoff_s.0.min(horizon - now);
                 drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, wait_t);
                 now += wait_t;
-                if now >= cfg.horizon_s {
+                if now >= horizon {
                     break;
                 }
-                let dwell = e.dwell_s.min(cfg.horizon_s - now);
+                let dwell = e.dwell_s.0.min(horizon - now);
                 drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
-                if dwell >= e.dwell_s {
+                if dwell >= e.dwell_s.0 {
                     // Full dwell: every served member got its demand.
                     for &s in &e.served {
-                        battery[s] = cfg.battery_j;
+                        battery[s] = capacity;
                     }
                 } else {
                     // Horizon cut the dwell short: proportional harvest.
                     for &s in &e.served {
                         let d = net.sensor(s).pos.distance(e.anchor);
-                        let harvested =
-                            cfg.planner.charging.delivered_energy(d, dwell) * e.efficiency;
-                        battery[s] = (battery[s] + harvested).min(cfg.battery_j);
+                        let harvested = cfg
+                            .planner
+                            .charging
+                            .delivered_energy(Meters(d), Seconds(dwell))
+                            .0
+                            * e.efficiency;
+                        battery[s] = (battery[s] + harvested).min(capacity);
                     }
                 }
                 now += dwell;
-                charger_energy += cfg.planner.energy.charging_energy(dwell);
-                replayed_m += e.drive_m;
-                replayed_s += e.drive_s + e.backoff_s + e.dwell_s;
+                charger_energy += cfg.planner.energy.charging_energy(Seconds(dwell)).0;
+                replayed_m += e.drive_m.0;
+                replayed_s += (e.drive_s + e.backoff_s + e.dwell_s).0;
             }
             // The closing leg is in the report totals but not the
             // timeline; replay whatever of it fits the horizon.
-            let close_s_full = (report.duration_s - replayed_s).max(0.0);
-            let close_s = close_s_full.min((cfg.horizon_s - now).max(0.0));
+            let close_s_full = (report.duration_s.0 - replayed_s).max(0.0);
+            let close_s = close_s_full.min((horizon - now).max(0.0));
             if close_s > 0.0 {
                 drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, close_s);
                 now += close_s;
@@ -281,7 +294,8 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                 charger_energy += cfg
                     .planner
                     .energy
-                    .movement_energy((report.distance_m - replayed_m).max(0.0) * frac);
+                    .movement_energy(Meters((report.distance_m.0 - replayed_m).max(0.0) * frac))
+                    .0;
             }
             // Hardware deaths are permanent: the sensor goes dark now
             // and stays dark.
@@ -295,8 +309,8 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                 }
             }
             stranded_rounds += report.stranded.len();
-            recovery_latency += report.recovery_latency_s;
-            extra_energy += report.extra_energy_j;
+            recovery_latency += report.recovery_latency_s.0;
+            extra_energy += report.extra_energy_j.0;
             replans += report.replans;
             base_returns += report.base_returns;
             continue;
@@ -304,44 +318,48 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         let stops = &plan.stops;
         let m = stops.len();
         for (i, stop) in stops.iter().enumerate() {
-            if now >= cfg.horizon_s {
+            if now >= horizon {
                 break;
             }
             // Drive from the previous stop.
             let prev = stops[(i + m - 1) % m].anchor();
             let leg = prev.distance(stop.anchor());
-            let drive_t = (leg / cfg.speed_mps).min(cfg.horizon_s - now);
+            let drive_t = (leg / speed).min(horizon - now);
             drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
             now += drive_t;
-            charger_energy += cfg.planner.energy.movement_energy(drive_t * cfg.speed_mps);
-            if now >= cfg.horizon_s {
+            charger_energy += cfg.planner.energy.movement_energy(Meters(drive_t * speed)).0;
+            if now >= horizon {
                 break;
             }
             // Park and charge: members harvest while everyone drains.
-            let dwell = stop.dwell.min(cfg.horizon_s - now);
+            let dwell = stop.dwell.0.min(horizon - now);
             drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
             for &j in &stop.bundle.sensors {
                 let d = net.sensor(j).pos.distance(stop.anchor());
-                let harvested = cfg.planner.charging.delivered_energy(d, dwell);
-                battery[j] = (battery[j] + harvested).min(cfg.battery_j);
+                let harvested = cfg
+                    .planner
+                    .charging
+                    .delivered_energy(Meters(d), Seconds(dwell))
+                    .0;
+                battery[j] = (battery[j] + harvested).min(capacity);
             }
             now += dwell;
-            charger_energy += cfg.planner.energy.charging_energy(dwell);
+            charger_energy += cfg.planner.energy.charging_energy(Seconds(dwell)).0;
         }
     }
 
-    let total_sensor_time = n as f64 * cfg.horizon_s;
+    let total_sensor_time = n as f64 * horizon; // cast-ok: sensor count to sensor-time
     LifetimeReport {
         rounds,
-        charger_energy_j: charger_energy,
-        downtime_sensor_s: downtime,
+        charger_energy_j: Joules(charger_energy),
+        downtime_sensor_s: Seconds(downtime),
         availability: 1.0 - downtime / total_sensor_time,
         sensors_ever_dead: ever_dead.iter().filter(|&&d| d).count(),
-        min_battery_j: min_battery,
+        min_battery_j: Joules(min_battery),
         fault_deaths: hw_dead.len(),
         stranded_sensor_rounds: stranded_rounds,
-        recovery_latency_s: recovery_latency,
-        extra_energy_j: extra_energy,
+        recovery_latency_s: Seconds(recovery_latency),
+        extra_energy_j: Joules(extra_energy),
         replans,
         base_returns,
     }
@@ -365,14 +383,14 @@ pub fn table(exp: &crate::figures::ExpConfig) -> Vec<crate::Table> {
             simulate(&net, &cfg)
         });
         let mean = |f: &dyn Fn(&LifetimeReport) -> f64| {
-            rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+            rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64 // cast-ok: run count to divisor
         };
         t.push_row(&[
-            ai as f64,
-            mean(&|r| r.rounds as f64),
-            mean(&|r| r.charger_energy_j),
+            ai as f64,                                 // cast-ok: algorithm index
+            mean(&|r| r.rounds as f64),                // cast-ok: round count
+            mean(&|r| r.charger_energy_j.0),
             100.0 * mean(&|r| r.availability),
-            mean(&|r| r.sensors_ever_dead as f64),
+            mean(&|r| r.sensors_ever_dead as f64), // cast-ok: sensor count
         ]);
     }
     vec![t]
@@ -406,10 +424,10 @@ mod tests {
     fn no_charging_when_drain_is_negligible() {
         let net = small_net();
         let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
-        cfg.drain_w = 1e-9; // batteries outlast the horizon
+        cfg.drain_w = Watts(1e-9); // batteries outlast the horizon
         let rep = simulate(&net, &cfg);
         assert_eq!(rep.rounds, 0);
-        assert_eq!(rep.charger_energy_j, 0.0);
+        assert_eq!(rep.charger_energy_j, Joules(0.0));
         assert_eq!(rep.availability, 1.0);
     }
 
@@ -417,9 +435,9 @@ mod tests {
     fn heavier_drain_needs_more_rounds() {
         let net = small_net();
         let mut light = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
-        light.horizon_s = 6.0 * 3600.0;
+        light.horizon_s = Seconds(6.0 * 3600.0);
         let mut heavy = light.clone();
-        heavy.drain_w *= 3.0;
+        heavy.drain_w = heavy.drain_w * 3.0;
         let r_light = simulate(&net, &light);
         let r_heavy = simulate(&net, &heavy);
         assert!(r_heavy.rounds > r_light.rounds);
@@ -430,7 +448,7 @@ mod tests {
     fn efficient_planner_spends_less_over_the_horizon() {
         let net = deploy::uniform(60, Aabb::square(250.0), 2.0, 9);
         let mut sc = LifetimeConfig::paper_sim(60, 25.0, Algorithm::Sc);
-        sc.horizon_s = 6.0 * 3600.0;
+        sc.horizon_s = Seconds(6.0 * 3600.0);
         let mut opt = sc.clone();
         opt.algorithm = Algorithm::BcOpt;
         let r_sc = simulate(&net, &sc);
@@ -456,7 +474,7 @@ mod tests {
     fn zero_fault_model_matches_perfect_execution() {
         let net = small_net();
         let mut base = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
-        base.horizon_s = 12.0 * 3600.0;
+        base.horizon_s = Seconds(12.0 * 3600.0);
         let faulty = base
             .clone()
             .with_faults(FaultModel::none(), RecoveryPolicy::ReplanRemaining);
@@ -473,7 +491,7 @@ mod tests {
             a.charger_energy_j,
             b.charger_energy_j
         );
-        assert!(b.extra_energy_j.abs() < 1e-6);
+        assert!(b.extra_energy_j.abs() < Joules(1e-6));
         assert_eq!(b.fault_deaths, 0);
         assert_eq!(b.stranded_sensor_rounds, 0);
     }
@@ -483,14 +501,14 @@ mod tests {
         let net = small_net();
         let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc)
             .with_faults(FaultModel::with_rate(7, 0.4), RecoveryPolicy::SkipAndContinue);
-        cfg.horizon_s = 12.0 * 3600.0;
+        cfg.horizon_s = Seconds(12.0 * 3600.0);
         let rep = simulate(&net, &cfg);
         assert!(rep.rounds > 0);
         assert!(
-            rep.recovery_latency_s > 0.0,
+            rep.recovery_latency_s > Seconds(0.0),
             "a 40% fault rate must cost recovery time"
         );
-        assert!(rep.charger_energy_j.is_finite() && rep.charger_energy_j > 0.0);
+        assert!(rep.charger_energy_j.is_finite() && rep.charger_energy_j > Joules(0.0));
         assert!(rep.availability.is_finite());
     }
 
@@ -504,7 +522,7 @@ mod tests {
             },
             RecoveryPolicy::ReplanRemaining,
         );
-        cfg.horizon_s = 12.0 * 3600.0;
+        cfg.horizon_s = Seconds(12.0 * 3600.0);
         let rep = simulate(&net, &cfg);
         assert!(rep.fault_deaths > 0, "50% per-round death rate must kill");
         // Battery depletion can kill more (survivors coast out after the
@@ -522,7 +540,7 @@ mod tests {
     fn bad_horizon_panics() {
         let net = small_net();
         let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
-        cfg.horizon_s = 0.0;
+        cfg.horizon_s = Seconds(0.0);
         let _ = simulate(&net, &cfg);
     }
 }

@@ -126,7 +126,7 @@ impl fmt::Display for Table {
 /// decimals.
 fn format_cell(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e12 {
-        format!("{}", v as i64)
+        format!("{v:.0}")
     } else {
         format!("{v:.3}")
     }

@@ -2,7 +2,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use bc_core::Metrics;
 
@@ -37,7 +37,7 @@ where
     if workers <= 1 {
         return (0..runs)
             .map(|i| {
-                let seed = base_seed + i as u64;
+                let seed = base_seed + i as u64; // cast-ok: run index to seed offset
                 catch_unwind(AssertUnwindSafe(|| f(seed))).unwrap_or_else(|payload| {
                     panic!(
                         "experiment worker panicked for seed {seed}: {}",
@@ -58,12 +58,12 @@ where
                 if i >= runs {
                     break;
                 }
-                let seed = base_seed + i as u64;
+                let seed = base_seed + i as u64; // cast-ok: run index to seed offset
                 match catch_unwind(AssertUnwindSafe(|| f(seed))) {
-                    Ok(r) => **slot_refs[i].lock().unwrap() = Some(r),
+                    Ok(r) => **slot_refs[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r),
                     Err(payload) => {
                         let msg = panic_message(&*payload);
-                        let mut slot = failed.lock().unwrap();
+                        let mut slot = failed.lock().unwrap_or_else(PoisonError::into_inner);
                         // Keep the lowest seed for a deterministic report.
                         if slot.as_ref().is_none_or(|(s0, _)| seed < *s0) {
                             *slot = Some((seed, msg));
@@ -73,12 +73,18 @@ where
             });
         }
     });
-    if let Some((seed, msg)) = failed.into_inner().unwrap() {
+    if let Some((seed, msg)) = failed.into_inner().unwrap_or_else(PoisonError::into_inner) {
         panic!("experiment worker panicked for seed {seed}: {msg}");
     }
     slots
         .into_iter()
-        .map(|s| s.expect("all runs completed"))
+        .map(|s| match s {
+            Some(r) => r,
+            // Every index below `runs` was claimed by exactly one worker
+            // and workers only exit after filling their slot or recording
+            // a failure (which panicked above).
+            None => unreachable!("all runs completed"),
+        })
         .collect()
 }
 
@@ -114,11 +120,11 @@ pub fn average_metrics(all: &[Metrics]) -> MetricsSummary {
         Summary::of(&all.iter().map(f).collect::<Vec<_>>())
     }
     MetricsSummary {
-        num_stops: col(all, |m| m.num_stops as f64),
-        tour_length_m: col(all, |m| m.tour_length_m),
-        charge_time_s: col(all, |m| m.charge_time_s),
-        total_energy_j: col(all, |m| m.total_energy_j),
-        avg_charge_time_per_sensor_s: col(all, |m| m.avg_charge_time_per_sensor_s),
+        num_stops: col(all, |m| m.num_stops as f64), // cast-ok: stop count to summary
+        tour_length_m: col(all, |m| m.tour_length_m.0),
+        charge_time_s: col(all, |m| m.charge_time_s.0),
+        total_energy_j: col(all, |m| m.total_energy_j.0),
+        avg_charge_time_per_sensor_s: col(all, |m| m.avg_charge_time_per_sensor_s.0),
     }
 }
 
@@ -169,14 +175,15 @@ mod tests {
 
     #[test]
     fn metrics_averaging() {
+        use bc_units::{Joules, Meters, Seconds};
         let m = |e: f64| Metrics {
             num_stops: 2,
-            tour_length_m: 10.0,
-            charge_time_s: 5.0,
-            move_energy_j: 0.0,
-            charge_energy_j: 0.0,
-            total_energy_j: e,
-            avg_charge_time_per_sensor_s: 1.0,
+            tour_length_m: Meters(10.0),
+            charge_time_s: Seconds(5.0),
+            move_energy_j: Joules(0.0),
+            charge_energy_j: Joules(0.0),
+            total_energy_j: Joules(e),
+            avg_charge_time_per_sensor_s: Seconds(1.0),
         };
         let s = average_metrics(&[m(10.0), m(20.0)]);
         assert_eq!(s.total_energy_j.mean, 15.0);

@@ -42,11 +42,11 @@ impl Summary {
                 n: 0,
             };
         }
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean = samples.iter().sum::<f64>() / n as f64; // cast-ok: sample count to divisor
         let var = if n < 2 {
             0.0
         } else {
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64 // cast-ok: sample count to divisor
         };
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
         for &x in samples {
@@ -67,7 +67,7 @@ impl Summary {
         if self.n < 2 {
             0.0
         } else {
-            1.96 * self.std / (self.n as f64).sqrt()
+            1.96 * self.std / (self.n as f64).sqrt() // cast-ok: sample count to divisor
         }
     }
 }

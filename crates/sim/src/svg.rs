@@ -75,7 +75,7 @@ pub fn render_scene(
                 r##"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="#1f4e9c10" stroke="#9db6dd" stroke-dasharray="3,3"/>"##,
                 cx = x(stop.anchor().x),
                 cy = y(stop.anchor().y),
-                r = (stop.bundle.enclosing_radius * scale).max(2.0),
+                r = (stop.bundle.enclosing_radius.0 * scale).max(2.0),
             ));
             out.push('\n');
             out.push_str(&format!(

@@ -1,6 +1,7 @@
 //! Powercast hardware models and the published office deployment.
 
 use bc_geom::Aabb;
+use bc_units::{Meters, Watts};
 use bc_wpt::{params, ChargingModel};
 use bc_wsn::{deploy, Network};
 
@@ -9,24 +10,24 @@ use bc_wsn::{deploy, Network};
 pub fn office_network() -> Network {
     deploy::from_coords(
         &params::TESTBED_SENSOR_COORDS,
-        Aabb::square(params::TESTBED_FIELD_SIDE_M),
-        params::TESTBED_DELTA_J,
+        Aabb::square(params::TESTBED_FIELD_SIDE_M.0),
+        params::TESTBED_DELTA_J.0,
     )
 }
 
 /// Power harvested by a P2110 receiver at distance `d` from the TX91501
-/// transmitter (W), using the testbed-calibrated quadratic model.
+/// transmitter, using the testbed-calibrated quadratic model.
 ///
 /// The P2110 additionally cuts off below its rectifier sensitivity
 /// (~ -11 dBm ≈ 80 µW): beyond the cut-off distance the harvested power
 /// is zero, which is why far sensors in the office receive nothing
 /// rather than a trickle.
-pub fn p2110_harvest_power(model: &ChargingModel, d: f64) -> f64 {
-    /// P2110 RF harvesting sensitivity (W).
-    const SENSITIVITY_W: f64 = 80e-6;
+pub fn p2110_harvest_power(model: &ChargingModel, d: Meters) -> Watts {
+    /// P2110 RF harvesting sensitivity.
+    const SENSITIVITY_W: Watts = Watts(80e-6);
     let p = model.received_power(d);
     if p < SENSITIVITY_W {
-        0.0
+        Watts(0.0)
     } else {
         p
     }
@@ -44,24 +45,24 @@ mod tests {
         assert_eq!(net.sensor(0).pos, Point::new(1.0, 1.0));
         assert_eq!(net.sensor(5).pos, Point::new(4.0, 1.0));
         for s in net.sensors() {
-            assert_eq!(s.demand, 0.004);
+            assert_eq!(s.demand, bc_units::Joules(0.004));
         }
     }
 
     #[test]
     fn harvest_power_cut_off_far_away() {
         let model = ChargingModel::paper_testbed();
-        assert!(p2110_harvest_power(&model, 0.5) > 0.0);
+        assert!(p2110_harvest_power(&model, Meters(0.5)) > Watts(0.0));
         // Find some distance past the sensitivity cut-off.
-        let far = model.max_distance_for_power(80e-6).unwrap() + 1.0;
-        assert_eq!(p2110_harvest_power(&model, far), 0.0);
+        let far = model.max_distance_for_power(Watts(80e-6)).unwrap() + Meters(1.0);
+        assert_eq!(p2110_harvest_power(&model, far), Watts(0.0));
     }
 
     #[test]
     fn harvest_monotone_until_cutoff() {
         let model = ChargingModel::paper_testbed();
         assert!(
-            p2110_harvest_power(&model, 0.2) > p2110_harvest_power(&model, 2.0)
+            p2110_harvest_power(&model, Meters(0.2)) > p2110_harvest_power(&model, Meters(2.0))
         );
     }
 }

@@ -1,6 +1,7 @@
 //! Discrete-event execution of charging plans on the simulated testbed.
 
 use bc_core::{ChargingPlan, PlannerConfig};
+use bc_units::{Joules, Meters, Seconds};
 use bc_wpt::params;
 use bc_wsn::Network;
 use rand::rngs::SmallRng;
@@ -27,37 +28,37 @@ pub struct TestbedRig<'a> {
 /// Per-sensor outcome of an execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorLedger {
-    /// Total energy the sensor harvested over the tour (J).
-    pub harvested_j: f64,
-    /// The sensor's demand (J).
-    pub demand_j: f64,
+    /// Total energy the sensor harvested over the tour.
+    pub harvested_j: Joules,
+    /// The sensor's demand.
+    pub demand_j: Joules,
 }
 
 /// Result of executing a plan on the rig.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
-    /// Distance actually driven, including the return leg (m).
-    pub driven_m: f64,
-    /// Wall-clock driving time (s).
-    pub drive_time_s: f64,
-    /// Wall-clock charging time (s).
-    pub charge_time_s: f64,
-    /// Movement energy spent (J).
-    pub move_energy_j: f64,
-    /// Charging-mode energy spent (J).
-    pub charge_energy_j: f64,
+    /// Distance actually driven, including the return leg.
+    pub driven_m: Meters,
+    /// Wall-clock driving time.
+    pub drive_time_s: Seconds,
+    /// Wall-clock charging time.
+    pub charge_time_s: Seconds,
+    /// Movement energy spent.
+    pub move_energy_j: Joules,
+    /// Charging-mode energy spent.
+    pub charge_energy_j: Joules,
     /// Per-sensor energy ledgers, indexed like the network.
     pub sensors: Vec<SensorLedger>,
 }
 
 impl ExecutionReport {
-    /// Total operating energy (J).
-    pub fn total_energy_j(&self) -> f64 {
+    /// Total operating energy.
+    pub fn total_energy_j(&self) -> Joules {
         self.move_energy_j + self.charge_energy_j
     }
 
-    /// Total mission time (s).
-    pub fn total_time_s(&self) -> f64 {
+    /// Total mission time.
+    pub fn total_time_s(&self) -> Seconds {
         self.drive_time_s + self.charge_time_s
     }
 
@@ -73,7 +74,7 @@ impl ExecutionReport {
         self.sensors
             .iter()
             .map(|s| {
-                if s.demand_j <= 0.0 {
+                if s.demand_j <= Joules(0.0) {
                     f64::INFINITY
                 } else {
                     s.harvested_j / s.demand_j * (1.0 + 1e-9)
@@ -141,17 +142,17 @@ impl<'a> TestbedRig<'a> {
     pub fn execute(&self, plan: &ChargingPlan) -> ExecutionReport {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut report = ExecutionReport {
-            driven_m: 0.0,
-            drive_time_s: 0.0,
-            charge_time_s: 0.0,
-            move_energy_j: 0.0,
-            charge_energy_j: 0.0,
+            driven_m: Meters(0.0),
+            drive_time_s: Seconds(0.0),
+            charge_time_s: Seconds(0.0),
+            move_energy_j: Joules(0.0),
+            charge_energy_j: Joules(0.0),
             sensors: self
                 .net
                 .sensors()
                 .iter()
                 .map(|s| SensorLedger {
-                    harvested_j: 0.0,
+                    harvested_j: Joules(0.0),
                     demand_j: s.demand,
                 })
                 .collect(),
@@ -166,10 +167,10 @@ impl<'a> TestbedRig<'a> {
             // the cycle is closed by the i == 0 leg from the last stop).
             let prev = plan.stops[(i + n - 1) % n].anchor();
             let leg = prev.distance(stop.anchor());
-            let leg_time = leg / params::TESTBED_CAR_SPEED_M_PER_S;
-            report.driven_m += leg;
-            report.drive_time_s += leg_time;
-            report.move_energy_j += self.cfg.energy.movement_energy(leg);
+            let leg_time = leg / params::TESTBED_CAR_SPEED_M_PER_S.0;
+            report.driven_m += Meters(leg);
+            report.drive_time_s += Seconds(leg_time);
+            report.move_energy_j += self.cfg.energy.movement_energy(Meters(leg));
             if self.harvest_while_moving && leg > 0.0 {
                 // Integrate harvesting along the leg at the tick rate.
                 let mut elapsed = 0.0;
@@ -181,8 +182,11 @@ impl<'a> TestbedRig<'a> {
                         None => 1.0,
                     };
                     for (si, sensor) in self.net.sensors().iter().enumerate() {
-                        let p = p2110_harvest_power(&self.cfg.charging, sensor.pos.distance(pos));
-                        report.sensors[si].harvested_j += p * dt * factor;
+                        let p = p2110_harvest_power(
+                            &self.cfg.charging,
+                            Meters(sensor.pos.distance(pos)),
+                        );
+                        report.sensors[si].harvested_j += p * Seconds(dt) * factor;
                     }
                     elapsed += dt;
                 }
@@ -190,14 +194,14 @@ impl<'a> TestbedRig<'a> {
 
             // Park and transmit.
             let mut remaining = stop.dwell;
-            while remaining > 0.0 {
-                let dt = remaining.min(self.tick);
+            while remaining > Seconds(0.0) {
+                let dt = remaining.min(Seconds(self.tick));
                 let factor = match self.noise {
                     Some(a) => rng.random_range(1.0 - a..=1.0 + a),
                     None => 1.0,
                 };
                 for (si, sensor) in self.net.sensors().iter().enumerate() {
-                    let d = sensor.pos.distance(stop.anchor());
+                    let d = Meters(sensor.pos.distance(stop.anchor()));
                     let p = p2110_harvest_power(&self.cfg.charging, d);
                     report.sensors[si].harvested_j += p * dt * factor;
                 }
@@ -234,11 +238,11 @@ mod tests {
     #[test]
     fn ledger_matches_plan_accounting() {
         let (report, plan) = plan_and_run(1.0);
-        assert!((report.driven_m - plan.tour_length()).abs() < 1e-6);
-        assert!((report.charge_time_s - plan.total_dwell()).abs() < 1e-9);
+        assert!((report.driven_m - plan.tour_length()).abs() < Meters(1e-6));
+        assert!((report.charge_time_s - plan.total_dwell()).abs() < Seconds(1e-9));
         let cfg = PlannerConfig::paper_testbed(1.0);
         let m = plan.metrics(&cfg.energy);
-        assert!((report.total_energy_j() - m.total_energy_j).abs() < 1e-6);
+        assert!((report.total_energy_j() - m.total_energy_j).abs() < Joules(1e-6));
     }
 
     #[test]
@@ -246,8 +250,8 @@ mod tests {
         // Sensors harvest from every stop, so the total harvested energy
         // strictly exceeds the bare demand sum.
         let (report, _) = plan_and_run(1.2);
-        let harvested: f64 = report.sensors.iter().map(|s| s.harvested_j).sum();
-        let demanded: f64 = report.sensors.iter().map(|s| s.demand_j).sum();
+        let harvested: Joules = report.sensors.iter().map(|s| s.harvested_j).sum();
+        let demanded: Joules = report.sensors.iter().map(|s| s.demand_j).sum();
         assert!(harvested > demanded);
     }
 
@@ -268,9 +272,8 @@ mod tests {
     #[test]
     fn drive_time_uses_published_speed() {
         let (report, plan) = plan_and_run(0.5);
-        assert!(
-            (report.drive_time_s - plan.tour_length() / 0.3).abs() < 1e-6
-        );
+        let expected = plan.tour_length() / bc_units::MetersPerSecond(0.3);
+        assert!((report.drive_time_s - expected).abs() < Seconds(1e-6));
     }
 
     #[test]
@@ -278,7 +281,7 @@ mod tests {
         let net = office_network();
         let cfg = PlannerConfig::paper_testbed(1.0);
         let report = TestbedRig::new(&net, &cfg).execute(&ChargingPlan::new(Vec::new(), 6));
-        assert_eq!(report.total_energy_j(), 0.0);
+        assert_eq!(report.total_energy_j(), Joules(0.0));
         assert!(!report.all_fully_charged());
     }
 
@@ -293,7 +296,7 @@ mod tests {
             .execute(&plan);
         // Charger-side costs are identical; sensors only gain.
         assert_eq!(parked.total_energy_j(), moving.total_energy_j());
-        let sum = |r: &ExecutionReport| -> f64 { r.sensors.iter().map(|s| s.harvested_j).sum() };
+        let sum = |r: &ExecutionReport| -> Joules { r.sensors.iter().map(|s| s.harvested_j).sum() };
         assert!(sum(&moving) > sum(&parked));
     }
 

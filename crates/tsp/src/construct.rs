@@ -163,10 +163,9 @@ pub fn greedy_edge(m: &DistanceMatrix) -> Tour {
     let mut cur = 0usize;
     for _ in 0..n {
         order.push(cur);
-        let next = *adj[cur]
-            .iter()
-            .find(|&&x| x != prev)
-            .expect("greedy edge construction produced a broken cycle");
+        let Some(&next) = adj[cur].iter().find(|&&x| x != prev) else {
+            unreachable!("greedy edge construction produced a broken cycle");
+        };
         prev = cur;
         cur = next;
     }

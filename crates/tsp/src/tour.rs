@@ -98,11 +98,9 @@ impl Tour {
     ///
     /// Panics if `start` is not part of the tour.
     pub fn rotate_to_start(&mut self, start: usize) {
-        let pos = self
-            .order
-            .iter()
-            .position(|&i| i == start)
-            .expect("start point not in tour");
+        let Some(pos) = self.order.iter().position(|&i| i == start) else {
+            panic!("rotate_to_start: point {start} not in tour");
+        };
         self.order.rotate_left(pos);
     }
 }

@@ -1,0 +1,89 @@
+//! Property tests for the dimensional arithmetic: round-trips through the
+//! product/quotient pairs and algebraic identities.
+
+use proptest::prelude::*;
+
+use bc_units::{Joules, JoulesPerMeter, Meters, MetersPerSecond, Seconds, Watts};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e6f64..1.0e6
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1.0e-3f64..1.0e6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `(w * t) / t == w` and `(w * t) / w == t` up to float rounding.
+    #[test]
+    fn energy_round_trip(w in positive(), t in positive()) {
+        let e: Joules = Watts(w) * Seconds(t);
+        let w2: Watts = e / Seconds(t);
+        let t2: Seconds = e / Watts(w);
+        prop_assert!((w2.0 - w).abs() <= 1e-9 * w.abs().max(1.0));
+        prop_assert!((t2.0 - t).abs() <= 1e-9 * t.abs().max(1.0));
+    }
+
+    /// The movement-energy product inverts the same way.
+    #[test]
+    fn movement_round_trip(rate in positive(), d in positive()) {
+        let e: Joules = JoulesPerMeter(rate) * Meters(d);
+        prop_assert!(((e / Meters(d)).0 - rate).abs() <= 1e-9 * rate.max(1.0));
+        prop_assert!(((e / JoulesPerMeter(rate)).0 - d).abs() <= 1e-9 * d.max(1.0));
+    }
+
+    /// Speed x time = distance, and both quotients recover the factors.
+    #[test]
+    fn kinematic_round_trip(v in positive(), t in positive()) {
+        let d: Meters = MetersPerSecond(v) * Seconds(t);
+        prop_assert!((d.time_at(MetersPerSecond(v)).0 - t).abs() <= 1e-9 * t.max(1.0));
+        prop_assert!(((d / Seconds(t)).0 - v).abs() <= 1e-9 * v.max(1.0));
+    }
+
+    /// sqrt inverts squaring for non-negative distances.
+    #[test]
+    fn area_round_trip(d in positive()) {
+        prop_assert!((Meters(d).squared().sqrt().0 - d).abs() <= 1e-9 * d.max(1.0));
+    }
+
+    /// Same-dimension arithmetic matches raw-f64 arithmetic exactly
+    /// (the newtypes are transparent: no magnitude drift is tolerated).
+    #[test]
+    fn addition_is_transparent(a in finite(), b in finite()) {
+        prop_assert_eq!((Joules(a) + Joules(b)).0, a + b);
+        prop_assert_eq!((Joules(a) - Joules(b)).0, a - b);
+        prop_assert_eq!((-Joules(a)).0, -a);
+        prop_assert_eq!((Joules(a) * 2.0).0, a * 2.0);
+        prop_assert_eq!((2.0 * Joules(a)).0, 2.0 * a);
+        prop_assert_eq!((Joules(a) / 2.0).0, a / 2.0);
+    }
+
+    /// Multiplication commutes across the operand-order pairs.
+    #[test]
+    fn products_commute(a in finite(), b in finite()) {
+        prop_assert_eq!(Watts(a) * Seconds(b), Seconds(b) * Watts(a));
+        prop_assert_eq!(JoulesPerMeter(a) * Meters(b), Meters(b) * JoulesPerMeter(a));
+        prop_assert_eq!(MetersPerSecond(a) * Seconds(b), Seconds(b) * MetersPerSecond(a));
+        prop_assert_eq!(Meters(a) * Meters(b), Meters(b) * Meters(a));
+    }
+
+    /// The dimensionless ratio agrees with the raw quotient, and ordering
+    /// is inherited from the magnitudes.
+    #[test]
+    fn ratio_and_order(a in positive(), b in positive()) {
+        prop_assert_eq!(Meters(a) / Meters(b), a / b);
+        prop_assert_eq!(Joules(a) < Joules(b), a < b);
+        prop_assert_eq!(Joules(a).max(Joules(b)).0, a.max(b));
+        prop_assert_eq!(Joules(a).min(Joules(b)).0, a.min(b));
+    }
+
+    /// Sum over a slice equals the fold of raw magnitudes.
+    #[test]
+    fn sum_is_transparent(xs in prop::collection::vec(finite(), 0..20)) {
+        let typed: Joules = xs.iter().map(|&x| Joules(x)).sum();
+        let raw: f64 = xs.iter().sum();
+        prop_assert_eq!(typed.0, raw);
+    }
+}

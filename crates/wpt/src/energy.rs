@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use bc_units::{Joules, JoulesPerMeter, Meters, MetersPerSecond, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
 use crate::params;
@@ -16,17 +17,18 @@ use crate::params;
 /// # Example
 ///
 /// ```
+/// use bc_units::{Meters, Seconds};
 /// use bc_wpt::EnergyModel;
 ///
 /// let e = EnergyModel::paper_sim();
 /// // 100 m of driving plus 60 s of charging:
-/// let j = e.total_energy(100.0, 60.0);
-/// assert!(j > e.movement_energy(100.0));
+/// let j = e.total_energy(Meters(100.0), Seconds(60.0));
+/// assert!(j > e.movement_energy(Meters(100.0)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyModel {
-    move_cost: f64,
-    charge_draw: f64,
+    move_cost: JoulesPerMeter,
+    charge_draw: Watts,
 }
 
 impl EnergyModel {
@@ -46,15 +48,15 @@ impl EnergyModel {
             "charging draw must be non-negative, got {charge_draw_w}"
         );
         EnergyModel {
-            move_cost: move_cost_j_per_m,
-            charge_draw: charge_draw_w,
+            move_cost: JoulesPerMeter(move_cost_j_per_m),
+            charge_draw: Watts(charge_draw_w),
         }
     }
 
     /// The simulation accounting of Section VI-A: 5.59 J/m movement and
     /// transmit power plus the 0.9 J/min overhead while charging.
     pub fn paper_sim() -> Self {
-        EnergyModel::new(params::SIM_MOVE_COST_J_PER_M, params::SIM_CHARGE_DRAW_W)
+        EnergyModel::new(params::SIM_MOVE_COST_J_PER_M.0, params::SIM_CHARGE_DRAW_W.0)
     }
 
     /// The paper's literal accounting, charging only the 0.9 J/min
@@ -62,72 +64,72 @@ impl EnergyModel {
     /// in DESIGN.md §4 can be compared against the literal reading.
     pub fn paper_literal() -> Self {
         EnergyModel::new(
-            params::SIM_MOVE_COST_J_PER_M,
-            params::SIM_CHARGING_OVERHEAD_W,
+            params::SIM_MOVE_COST_J_PER_M.0,
+            params::SIM_CHARGING_OVERHEAD_W.0,
         )
     }
 
     /// The testbed accounting of Section VII.
     pub fn paper_testbed() -> Self {
         EnergyModel::new(
-            params::SIM_MOVE_COST_J_PER_M,
-            params::TESTBED_SOURCE_POWER_W + params::SIM_CHARGING_OVERHEAD_W,
+            params::SIM_MOVE_COST_J_PER_M.0,
+            params::TESTBED_SOURCE_POWER_W.0 + params::SIM_CHARGING_OVERHEAD_W.0,
         )
     }
 
-    /// Movement cost `E_m` (J/m).
-    pub fn move_cost(&self) -> f64 {
+    /// Movement cost `E_m`.
+    pub fn move_cost(&self) -> JoulesPerMeter {
         self.move_cost
     }
 
-    /// Charging-mode draw `p_c` (W).
-    pub fn charge_draw(&self) -> f64 {
+    /// Charging-mode draw `p_c`.
+    pub fn charge_draw(&self) -> Watts {
         self.charge_draw
     }
 
-    /// Energy to drive `metres` of tour (J).
+    /// Energy to drive `length` of tour.
     ///
     /// # Panics
     ///
-    /// Panics if `metres` is negative or not finite.
+    /// Panics if `length` is negative or not finite.
     #[inline]
-    pub fn movement_energy(&self, metres: f64) -> f64 {
+    pub fn movement_energy(&self, length: Meters) -> Joules {
         assert!(
-            metres.is_finite() && metres >= 0.0,
+            length.is_finite() && length.0 >= 0.0,
             "tour length must be non-negative"
         );
-        self.move_cost * metres
+        self.move_cost * length
     }
 
-    /// Energy to stay in charging mode for `seconds` (J).
+    /// Energy to stay in charging mode for `dwell`.
     ///
     /// # Panics
     ///
-    /// Panics if `seconds` is negative or not finite.
+    /// Panics if `dwell` is negative or not finite.
     #[inline]
-    pub fn charging_energy(&self, seconds: f64) -> f64 {
+    pub fn charging_energy(&self, dwell: Seconds) -> Joules {
         assert!(
-            seconds.is_finite() && seconds >= 0.0,
+            dwell.is_finite() && dwell.0 >= 0.0,
             "dwell time must be non-negative"
         );
-        self.charge_draw * seconds
+        self.charge_draw * dwell
     }
 
-    /// Total operating energy for a tour of `metres` with `seconds` of
+    /// Total operating energy for a tour of `length` with `dwell` of
     /// cumulative dwell time — the BTO objective.
     #[inline]
-    pub fn total_energy(&self, metres: f64, seconds: f64) -> f64 {
-        self.movement_energy(metres) + self.charging_energy(seconds)
+    pub fn total_energy(&self, length: Meters, dwell: Seconds) -> Joules {
+        self.movement_energy(length) + self.charging_energy(dwell)
     }
 
     /// Metres of driving whose energy equals one second of charging —
     /// the exchange rate BC-OPT uses when trading tour length against
-    /// dwell time.
-    pub fn metres_per_charge_second(&self) -> f64 {
-        if self.move_cost == 0.0 {
-            f64::INFINITY
+    /// dwell time. (Dimensionally `W / (J/m) = m/s`.)
+    pub fn metres_per_charge_second(&self) -> MetersPerSecond {
+        if self.move_cost.0 == 0.0 {
+            MetersPerSecond(f64::INFINITY)
         } else {
-            self.charge_draw / self.move_cost
+            MetersPerSecond(self.charge_draw.0 / self.move_cost.0)
         }
     }
 }
@@ -137,7 +139,7 @@ impl fmt::Display for EnergyModel {
         write!(
             f,
             "E_m = {:.3} J/m, p_c = {:.3} W",
-            self.move_cost, self.charge_draw
+            self.move_cost.0, self.charge_draw.0
         )
     }
 }
@@ -149,16 +151,16 @@ mod tests {
     #[test]
     fn paper_sim_values() {
         let e = EnergyModel::paper_sim();
-        assert!((e.move_cost() - 5.59).abs() < 1e-12);
-        assert!((e.charge_draw() - 1.015).abs() < 1e-12);
+        assert!((e.move_cost().0 - 5.59).abs() < 1e-12);
+        assert!((e.charge_draw().0 - 1.015).abs() < 1e-12);
     }
 
     #[test]
     fn totals_add_up() {
         let e = EnergyModel::new(2.0, 4.0);
-        assert_eq!(e.movement_energy(10.0), 20.0);
-        assert_eq!(e.charging_energy(3.0), 12.0);
-        assert_eq!(e.total_energy(10.0, 3.0), 32.0);
+        assert_eq!(e.movement_energy(Meters(10.0)), Joules(20.0));
+        assert_eq!(e.charging_energy(Seconds(3.0)), Joules(12.0));
+        assert_eq!(e.total_energy(Meters(10.0), Seconds(3.0)), Joules(32.0));
     }
 
     #[test]
@@ -172,9 +174,12 @@ mod tests {
     #[test]
     fn exchange_rate() {
         let e = EnergyModel::new(2.0, 4.0);
-        assert_eq!(e.metres_per_charge_second(), 2.0);
+        assert_eq!(e.metres_per_charge_second(), MetersPerSecond(2.0));
         let free_move = EnergyModel::new(0.0, 4.0);
-        assert_eq!(free_move.metres_per_charge_second(), f64::INFINITY);
+        assert_eq!(
+            free_move.metres_per_charge_second(),
+            MetersPerSecond(f64::INFINITY)
+        );
     }
 
     #[test]
@@ -186,6 +191,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "tour length must be non-negative")]
     fn negative_length_panics() {
-        let _ = EnergyModel::paper_sim().movement_energy(-1.0);
+        let _ = EnergyModel::paper_sim().movement_energy(Meters(-1.0));
     }
 }

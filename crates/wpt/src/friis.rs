@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use bc_units::{Joules, Meters, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
 use crate::law::Law;
@@ -21,22 +22,24 @@ use crate::params;
 /// # Example
 ///
 /// ```
+/// use bc_units::Meters;
 /// use bc_wpt::ChargingModel;
 ///
 /// let m = ChargingModel::paper_sim();
-/// let near = m.received_power(1.0);
-/// let far = m.received_power(20.0);
+/// let near = m.received_power(Meters(1.0));
+/// let far = m.received_power(Meters(20.0));
 /// assert!(near > far);
 /// // Quadratic: moving from d to 2d+beta more than quarters the power.
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChargingModel {
     law: Law,
-    source_power: f64,
+    source_power: Watts,
 }
 
 impl ChargingModel {
-    /// Creates a charging model.
+    /// Creates a charging model from the raw fit constants (`alpha` in
+    /// m², `beta` in m, `source_power` in W).
     ///
     /// # Panics
     ///
@@ -60,7 +63,10 @@ impl ChargingModel {
             source_power.is_finite() && source_power > 0.0,
             "source power must be positive, got {source_power}"
         );
-        ChargingModel { law, source_power }
+        ChargingModel {
+            law,
+            source_power: Watts(source_power),
+        }
     }
 
     /// Creates a linear fall-off model `max(p0 - slope * d, 0) * p_src`
@@ -102,7 +108,7 @@ impl ChargingModel {
         ChargingModel::new(
             params::SIM_ALPHA,
             params::SIM_BETA,
-            params::SIM_FITTED_SOURCE_W,
+            params::SIM_FITTED_SOURCE_W.0,
         )
     }
 
@@ -111,7 +117,7 @@ impl ChargingModel {
         ChargingModel::new(
             params::TESTBED_ALPHA,
             params::TESTBED_BETA,
-            params::TESTBED_SOURCE_POWER_W,
+            params::TESTBED_SOURCE_POWER_W.0,
         )
     }
 
@@ -136,55 +142,56 @@ impl ChargingModel {
         }
     }
 
-    /// The RF source power `p_src` (W).
-    pub fn source_power(&self) -> f64 {
+    /// The RF source power `p_src`.
+    pub fn source_power(&self) -> Watts {
         self.source_power
     }
 
-    /// Power received by a sensor at distance `d` metres (W).
+    /// Power received by a sensor at distance `d`.
     ///
     /// # Panics
     ///
     /// Panics if `d` is negative or not finite.
     #[inline]
-    pub fn received_power(&self, d: f64) -> f64 {
-        assert!(d.is_finite() && d >= 0.0, "distance must be non-negative");
+    pub fn received_power(&self, d: Meters) -> Watts {
+        assert!(d.is_finite() && d.0 >= 0.0, "distance must be non-negative");
         self.law.gain(d) * self.source_power
     }
 
-    /// Time (s) to deliver `energy` joules to a sensor at distance `d`.
+    /// Time to deliver `energy` to a sensor at distance `d`.
     ///
     /// # Panics
     ///
     /// Panics if `energy` is negative or `d` invalid.
     #[inline]
-    pub fn charge_time(&self, d: f64, energy: f64) -> f64 {
+    pub fn charge_time(&self, d: Meters, energy: Joules) -> Seconds {
         assert!(
-            energy.is_finite() && energy >= 0.0,
+            energy.is_finite() && energy.0 >= 0.0,
             "energy must be non-negative"
         );
         energy / self.received_power(d)
     }
 
-    /// Energy (J) delivered to a sensor at distance `d` over `seconds`.
+    /// Energy delivered to a sensor at distance `d` over `dwell`.
     #[inline]
-    pub fn delivered_energy(&self, d: f64, seconds: f64) -> f64 {
+    pub fn delivered_energy(&self, d: Meters, dwell: Seconds) -> Joules {
         assert!(
-            seconds.is_finite() && seconds >= 0.0,
+            dwell.is_finite() && dwell.0 >= 0.0,
             "duration must be non-negative"
         );
-        self.received_power(d) * seconds
+        self.received_power(d) * dwell
     }
 
     /// The largest distance at which the received power still reaches
-    /// `power` watts, or `None` when even `d = 0` is insufficient.
-    pub fn max_distance_for_power(&self, power: f64) -> Option<f64> {
-        assert!(power.is_finite() && power > 0.0, "power must be positive");
+    /// `power`, or `None` when even `d = 0` is insufficient.
+    pub fn max_distance_for_power(&self, power: Watts) -> Option<Meters> {
+        assert!(power.is_finite() && power.0 > 0.0, "power must be positive");
         self.law.max_distance_for_gain(power / self.source_power)
     }
 
-    /// End-to-end efficiency at distance `d` (received / source power).
-    pub fn efficiency(&self, d: f64) -> f64 {
+    /// End-to-end efficiency at distance `d` (received / source power,
+    /// dimensionless).
+    pub fn efficiency(&self, d: Meters) -> f64 {
         self.received_power(d) / self.source_power
     }
 }
@@ -195,15 +202,19 @@ impl fmt::Display for ChargingModel {
             Law::Quadratic { alpha, beta } => write!(
                 f,
                 "p_r(d) = {:.3}/(d + {:.3})^2 * {:.3} W",
-                alpha, beta, self.source_power
+                alpha, beta, self.source_power.0
             ),
             Law::Linear { p0, slope } => write!(
                 f,
                 "p_r(d) = max({:.4} - {:.4} d, 0) * {:.3} W",
-                p0, slope, self.source_power
+                p0, slope, self.source_power.0
             ),
             Law::Table { len, .. } => {
-                write!(f, "p_r(d): {len}-point table * {:.3} W", self.source_power)
+                write!(
+                    f,
+                    "p_r(d): {len}-point table * {:.3} W",
+                    self.source_power.0
+                )
             }
         }
     }
@@ -213,54 +224,63 @@ impl fmt::Display for ChargingModel {
 mod tests {
     use super::*;
 
+    fn m(v: f64) -> Meters {
+        Meters(v)
+    }
+
     #[test]
     fn quadratic_decay() {
-        let m = ChargingModel::paper_sim();
+        let model = ChargingModel::paper_sim();
         // p(d) * (d+beta)^2 is constant.
-        let k0 = m.received_power(0.0) * 30.0 * 30.0;
-        let k10 = m.received_power(10.0) * 40.0 * 40.0;
+        let k0 = model.received_power(m(0.0)).0 * 30.0 * 30.0;
+        let k10 = model.received_power(m(10.0)).0 * 40.0 * 40.0;
         assert!((k0 - k10).abs() < 1e-9);
     }
 
     #[test]
     fn paper_sim_magnitudes() {
-        let m = ChargingModel::paper_sim();
+        let model = ChargingModel::paper_sim();
         // At contact: 36/900 = 0.04 W.
-        assert!((m.received_power(0.0) - 0.04).abs() < 1e-12);
+        assert!((model.received_power(m(0.0)).0 - 0.04).abs() < 1e-12);
         // 2 J at contact takes 50 s (the WISP-scale charging delay).
-        assert!((m.charge_time(0.0, 2.0) - 50.0).abs() < 1e-9);
+        assert!((model.charge_time(m(0.0), Joules(2.0)).0 - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn charge_time_scales_with_energy_and_distance() {
-        let m = ChargingModel::paper_sim();
-        assert!(m.charge_time(0.0, 2.0) < m.charge_time(10.0, 2.0));
-        assert!((m.charge_time(5.0, 4.0) - 2.0 * m.charge_time(5.0, 2.0)).abs() < 1e-9);
-        assert_eq!(m.charge_time(5.0, 0.0), 0.0);
+        let model = ChargingModel::paper_sim();
+        assert!(model.charge_time(m(0.0), Joules(2.0)) < model.charge_time(m(10.0), Joules(2.0)));
+        assert!(
+            (model.charge_time(m(5.0), Joules(4.0)).0
+                - 2.0 * model.charge_time(m(5.0), Joules(2.0)).0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(model.charge_time(m(5.0), Joules(0.0)), Seconds(0.0));
     }
 
     #[test]
     fn delivered_energy_inverts_charge_time() {
-        let m = ChargingModel::paper_sim();
-        let t = m.charge_time(12.0, 2.0);
-        assert!((m.delivered_energy(12.0, t) - 2.0).abs() < 1e-9);
+        let model = ChargingModel::paper_sim();
+        let t = model.charge_time(m(12.0), Joules(2.0));
+        assert!((model.delivered_energy(m(12.0), t).0 - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn max_distance_for_power_round_trip() {
-        let m = ChargingModel::paper_sim();
-        let p = m.received_power(25.0);
-        let d = m.max_distance_for_power(p).unwrap();
-        assert!((d - 25.0).abs() < 1e-9);
+        let model = ChargingModel::paper_sim();
+        let p = model.received_power(m(25.0));
+        let d = model.max_distance_for_power(p).unwrap();
+        assert!((d.0 - 25.0).abs() < 1e-9);
         // Impossible power level.
-        assert!(m.max_distance_for_power(1e9).is_none());
+        assert!(model.max_distance_for_power(Watts(1e9)).is_none());
     }
 
     #[test]
     fn efficiency_below_unity() {
-        let m = ChargingModel::paper_sim();
-        assert!(m.efficiency(0.0) < 1.0);
-        assert!(m.efficiency(100.0) < m.efficiency(1.0));
+        let model = ChargingModel::paper_sim();
+        assert!(model.efficiency(m(0.0)) < 1.0);
+        assert!(model.efficiency(m(100.0)) < model.efficiency(m(1.0)));
     }
 
     #[test]
@@ -271,33 +291,33 @@ mod tests {
 
     #[test]
     fn linear_law_end_to_end() {
-        let m = ChargingModel::linear(0.1, 0.01, 2.0);
-        assert!((m.received_power(0.0) - 0.2).abs() < 1e-12);
-        assert!((m.received_power(5.0) - 0.1).abs() < 1e-12);
-        assert_eq!(m.received_power(20.0), 0.0);
-        assert!((m.charge_time(5.0, 1.0) - 10.0).abs() < 1e-9);
-        assert!(m.alpha().is_none());
+        let model = ChargingModel::linear(0.1, 0.01, 2.0);
+        assert!((model.received_power(m(0.0)).0 - 0.2).abs() < 1e-12);
+        assert!((model.received_power(m(5.0)).0 - 0.1).abs() < 1e-12);
+        assert_eq!(model.received_power(m(20.0)), Watts(0.0));
+        assert!((model.charge_time(m(5.0), Joules(1.0)).0 - 10.0).abs() < 1e-9);
+        assert!(model.alpha().is_none());
     }
 
     #[test]
     fn table_law_end_to_end() {
-        let m = ChargingModel::from_table(&[(0.0, 0.04), (10.0, 0.01)], 1.0);
-        assert!((m.received_power(5.0) - 0.025).abs() < 1e-12);
-        let d = m.max_distance_for_power(0.02).unwrap();
-        assert!((m.received_power(d) - 0.02).abs() < 1e-9);
-        assert!(!format!("{m}").is_empty());
+        let model = ChargingModel::from_table(&[(0.0, 0.04), (10.0, 0.01)], 1.0);
+        assert!((model.received_power(m(5.0)).0 - 0.025).abs() < 1e-12);
+        let d = model.max_distance_for_power(Watts(0.02)).unwrap();
+        assert!((model.received_power(d).0 - 0.02).abs() < 1e-9);
+        assert!(!format!("{model}").is_empty());
     }
 
     #[test]
     fn quadratic_accessors_present() {
-        let m = ChargingModel::paper_sim();
-        assert_eq!(m.alpha(), Some(36.0));
-        assert_eq!(m.beta(), Some(30.0));
+        let model = ChargingModel::paper_sim();
+        assert_eq!(model.alpha(), Some(36.0));
+        assert_eq!(model.beta(), Some(30.0));
     }
 
     #[test]
     #[should_panic(expected = "distance must be non-negative")]
     fn negative_distance_panics() {
-        let _ = ChargingModel::paper_sim().received_power(-1.0);
+        let _ = ChargingModel::paper_sim().received_power(m(-1.0));
     }
 }

@@ -11,6 +11,7 @@
 //! * [`Law::Table`] — piecewise-linear interpolation of measured
 //!   (distance, power) samples, the form raw testbed calibrations take.
 
+use bc_units::Meters;
 use serde::{Deserialize, Serialize};
 
 /// Maximum number of calibration points a [`Law::Table`] holds.
@@ -50,7 +51,8 @@ impl Law {
     ///
     /// Monotone non-increasing in `d`, and zero wherever the law has no
     /// support.
-    pub fn gain(&self, d: f64) -> f64 {
+    pub fn gain(&self, d: Meters) -> f64 {
+        let d = d.0;
         match *self {
             Law::Quadratic { alpha, beta } => alpha / ((d + beta) * (d + beta)),
             Law::Linear { p0, slope } => (p0 - slope * d).max(0.0),
@@ -73,20 +75,20 @@ impl Law {
 
     /// The largest distance at which the gain still reaches `g`, or
     /// `None` when even contact falls short.
-    pub fn max_distance_for_gain(&self, g: f64) -> Option<f64> {
+    pub fn max_distance_for_gain(&self, g: f64) -> Option<Meters> {
         assert!(g > 0.0 && g.is_finite(), "gain threshold must be positive");
         match *self {
             Law::Quadratic { alpha, beta } => {
                 let d = (alpha / g).sqrt() - beta;
-                (d >= 0.0).then_some(d)
+                (d >= 0.0).then_some(Meters(d))
             }
             Law::Linear { p0, slope } => {
                 if p0 < g {
                     None
                 } else if slope <= 0.0 {
-                    Some(f64::INFINITY)
+                    Some(Meters(f64::INFINITY))
                 } else {
-                    Some((p0 - g) / slope)
+                    Some(Meters((p0 - g) / slope))
                 }
             }
             Law::Table { points, len } => {
@@ -105,10 +107,10 @@ impl Law {
                             let t = (p0 - g) / (p0 - p1);
                             best = d0 + (d1 - d0) * t.clamp(0.0, 1.0);
                         }
-                        return Some(best);
+                        return Some(Meters(best));
                     }
                 }
-                Some(best)
+                Some(Meters(best))
             }
         }
     }
@@ -178,25 +180,25 @@ mod tests {
     #[test]
     fn quadratic_matches_formula() {
         let law = Law::Quadratic { alpha: 36.0, beta: 30.0 };
-        assert!((law.gain(0.0) - 0.04).abs() < 1e-12);
-        assert!((law.gain(10.0) - 36.0 / 1600.0).abs() < 1e-12);
+        assert!((law.gain(Meters(0.0)) - 0.04).abs() < 1e-12);
+        assert!((law.gain(Meters(10.0)) - 36.0 / 1600.0).abs() < 1e-12);
     }
 
     #[test]
     fn linear_clamps_at_zero() {
         let law = Law::Linear { p0: 0.1, slope: 0.01 };
-        assert_eq!(law.gain(0.0), 0.1);
-        assert!((law.gain(5.0) - 0.05).abs() < 1e-12);
-        assert_eq!(law.gain(20.0), 0.0);
+        assert_eq!(law.gain(Meters(0.0)), 0.1);
+        assert!((law.gain(Meters(5.0)) - 0.05).abs() < 1e-12);
+        assert_eq!(law.gain(Meters(20.0)), 0.0);
     }
 
     #[test]
     fn table_interpolates_and_cuts_off() {
         let law = table(&[(0.0, 0.1), (1.0, 0.05), (3.0, 0.01)]);
-        assert_eq!(law.gain(0.0), 0.1);
-        assert!((law.gain(0.5) - 0.075).abs() < 1e-12);
-        assert!((law.gain(2.0) - 0.03).abs() < 1e-12);
-        assert_eq!(law.gain(5.0), 0.0);
+        assert_eq!(law.gain(Meters(0.0)), 0.1);
+        assert!((law.gain(Meters(0.5)) - 0.075).abs() < 1e-12);
+        assert!((law.gain(Meters(2.0)) - 0.03).abs() < 1e-12);
+        assert_eq!(law.gain(Meters(5.0)), 0.0);
     }
 
     #[test]
@@ -209,7 +211,7 @@ mod tests {
         for law in laws {
             let mut last = f64::INFINITY;
             for i in 0..200 {
-                let g = law.gain(i as f64 * 0.5);
+                let g = law.gain(Meters(f64::from(i) * 0.5));
                 assert!(g <= last + 1e-12, "{law:?} increased at step {i}");
                 last = g;
             }
@@ -224,7 +226,7 @@ mod tests {
             table(&[(0.0, 0.2), (2.0, 0.08), (10.0, 0.01)]),
         ];
         for law in laws {
-            let g = law.gain(1.5);
+            let g = law.gain(Meters(1.5));
             if g > 0.0 {
                 let d = law.max_distance_for_gain(g).unwrap();
                 assert!((law.gain(d) - g).abs() < 1e-9, "{law:?}: {} vs {}", law.gain(d), g);

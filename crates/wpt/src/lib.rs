@@ -10,22 +10,27 @@
 //! energy (`E_m` joules per metre of tour) and charging energy (`p_c`
 //! joules per second while parked and transmitting).
 //!
+//! All quantities are `bc-units` newtypes — distances are [`Meters`],
+//! energies [`Joules`], dwell times [`Seconds`], powers [`Watts`] — so a
+//! metre/joule mix-up is a compile error, not a silently wrong figure.
+//!
 //! # Example
 //!
 //! ```
+//! use bc_units::{Joules, Meters, Seconds};
 //! use bc_wpt::{ChargingModel, EnergyModel};
 //!
 //! let model = ChargingModel::paper_sim();
 //! // Received power decays quadratically with distance.
-//! assert!(model.received_power(0.0) > model.received_power(10.0));
+//! assert!(model.received_power(Meters(0.0)) > model.received_power(Meters(10.0)));
 //!
 //! // Time to deliver 2 J to a sensor 10 m away:
-//! let t = model.charge_time(10.0, 2.0);
-//! assert!(t > 0.0);
+//! let t = model.charge_time(Meters(10.0), Joules(2.0));
+//! assert!(t > Seconds(0.0));
 //!
 //! let energy = EnergyModel::paper_sim();
-//! let total = energy.movement_energy(100.0) + energy.charging_energy(t);
-//! assert!(total > 0.0);
+//! let total = energy.movement_energy(Meters(100.0)) + energy.charging_energy(t);
+//! assert!(total > Joules(0.0));
 //! ```
 
 #![warn(missing_docs)]
@@ -35,6 +40,7 @@ pub mod friis;
 pub mod law;
 pub mod params;
 
+pub use bc_units::{Joules, JoulesPerMeter, Meters, Meters2, MetersPerSecond, Seconds, Watts};
 pub use energy::EnergyModel;
 pub use friis::ChargingModel;
 pub use law::Law;

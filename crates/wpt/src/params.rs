@@ -11,6 +11,12 @@
 //!   915 MHz, wavelength 0.33 m) on a robot car moving at 0.3 m/s, six
 //!   P2110-equipped sensors in a 5 m x 5 m office, per-sensor requirement
 //!   4 mJ.
+//!
+//! Dimensioned constants carry their `bc-units` newtype; the raw law-fit
+//! coefficients (`alpha`, `beta`) stay `f64` because they parameterize
+//! [`crate::law::Law`] directly.
+
+use bc_units::{Joules, JoulesPerMeter, Meters, MetersPerSecond, Watts};
 
 /// Friis-fit numerator constant `alpha` used in the simulations (m^2).
 pub const SIM_ALPHA: f64 = 36.0;
@@ -18,15 +24,15 @@ pub const SIM_ALPHA: f64 = 36.0;
 /// Friis short-distance adjustment `beta` used in the simulations (m).
 pub const SIM_BETA: f64 = 30.0;
 
-/// Per-sensor charging requirement `delta` in the simulations (J).
-pub const SIM_DELTA_J: f64 = 2.0;
+/// Per-sensor charging requirement `delta` in the simulations.
+pub const SIM_DELTA_J: Joules = Joules(2.0);
 
-/// Mobile-charger movement cost `E_m` (J per metre).
-pub const SIM_MOVE_COST_J_PER_M: f64 = 5.59;
+/// Mobile-charger movement cost `E_m`.
+pub const SIM_MOVE_COST_J_PER_M: JoulesPerMeter = JoulesPerMeter(5.59);
 
-/// RF source power of the charger (W). The paper's testbed transmitter
+/// RF source power of the charger. The paper's testbed transmitter
 /// (TX91501) outputs 3 W, which is also the `p_c` entering Eq. 1.
-pub const SIM_SOURCE_POWER_W: f64 = 3.0;
+pub const SIM_SOURCE_POWER_W: Watts = Watts(3.0);
 
 /// Effective source multiplier for the simulation charging model.
 ///
@@ -38,13 +44,13 @@ pub const SIM_SOURCE_POWER_W: f64 = 3.0;
 /// quotes). Multiplying by a further 3 W would make charging three times
 /// too cheap and erase the interior-optimal bundle radius of Figs. 6(b)
 /// and 14. See DESIGN.md §4.
-pub const SIM_FITTED_SOURCE_W: f64 = 1.0;
+pub const SIM_FITTED_SOURCE_W: Watts = Watts(1.0);
 
 /// Auxiliary electronics draw while the charger operates in charging mode:
-/// the paper's "0.9 J/min (5 mA x 3 V x 60 s)" (W).
-pub const SIM_CHARGING_OVERHEAD_W: f64 = 0.9 / 60.0;
+/// the paper's "0.9 J/min (5 mA x 3 V x 60 s)".
+pub const SIM_CHARGING_OVERHEAD_W: Watts = Watts(0.9 / 60.0);
 
-/// Total power the charger draws per second of dwell time (W).
+/// Total power the charger draws per second of dwell time.
 ///
 /// The draw must equal the charging model's source power (plus the
 /// auxiliary overhead): in Eq. 3 the same `p_c` drives both the received
@@ -53,28 +59,28 @@ pub const SIM_CHARGING_OVERHEAD_W: f64 = 0.9 / 60.0;
 /// `delta * (d+beta)^2 / alpha` joules regardless of the transmit power —
 /// the demanded energy divided by the link efficiency. The simulation
 /// model folds the transmit power into the fitted `alpha`
-/// ([`SIM_FITTED_SOURCE_W`] = 1), so the matching draw is 1 W plus the
+/// ([`SIM_FITTED_SOURCE_W`] = 1 W), so the matching draw is 1 W plus the
 /// 0.9 J/min overhead. See DESIGN.md §4.
-pub const SIM_CHARGE_DRAW_W: f64 = SIM_FITTED_SOURCE_W + SIM_CHARGING_OVERHEAD_W;
+pub const SIM_CHARGE_DRAW_W: Watts = Watts(SIM_FITTED_SOURCE_W.0 + SIM_CHARGING_OVERHEAD_W.0);
 
-/// Side length of the simulated deployment field (m).
-pub const SIM_FIELD_SIDE_M: f64 = 1000.0;
+/// Side length of the simulated deployment field.
+pub const SIM_FIELD_SIDE_M: Meters = Meters(1000.0);
 
-/// Testbed transmit power (W) — Powercast TX91501.
-pub const TESTBED_SOURCE_POWER_W: f64 = 3.0;
+/// Testbed transmit power — Powercast TX91501.
+pub const TESTBED_SOURCE_POWER_W: Watts = Watts(3.0);
 
-/// Testbed RF wavelength (m) at the 915 MHz charging frequency.
-pub const TESTBED_WAVELENGTH_M: f64 = 0.33;
+/// Testbed RF wavelength at the 915 MHz charging frequency.
+pub const TESTBED_WAVELENGTH_M: Meters = Meters(0.33);
 
-/// Testbed robot-car speed (m/s).
-pub const TESTBED_CAR_SPEED_M_PER_S: f64 = 0.3;
+/// Testbed robot-car speed.
+pub const TESTBED_CAR_SPEED_M_PER_S: MetersPerSecond = MetersPerSecond(0.3);
 
-/// Testbed per-sensor energy requirement (J) — 4 mJ, from the fast
+/// Testbed per-sensor energy requirement — 4 mJ, from the fast
 /// interference-aware scheduling experiments the paper cites.
-pub const TESTBED_DELTA_J: f64 = 0.004;
+pub const TESTBED_DELTA_J: Joules = Joules(0.004);
 
-/// Testbed field side length (m).
-pub const TESTBED_FIELD_SIDE_M: f64 = 5.0;
+/// Testbed field side length.
+pub const TESTBED_FIELD_SIDE_M: Meters = Meters(5.0);
 
 /// Friis-fit `alpha` for the testbed's metre-scale distances.
 ///
@@ -107,23 +113,28 @@ mod tests {
     #[test]
     fn overhead_matches_published_rate() {
         // 0.9 J per minute.
-        assert!((SIM_CHARGING_OVERHEAD_W * 60.0 - 0.9).abs() < 1e-12);
+        assert!((SIM_CHARGING_OVERHEAD_W.0 * 60.0 - 0.9).abs() < 1e-12);
     }
 
     #[test]
     fn draw_matches_fitted_source_plus_overhead() {
-        assert!((SIM_CHARGE_DRAW_W - SIM_FITTED_SOURCE_W - SIM_CHARGING_OVERHEAD_W).abs() < 1e-12);
+        assert!(
+            (SIM_CHARGE_DRAW_W - SIM_FITTED_SOURCE_W - SIM_CHARGING_OVERHEAD_W)
+                .abs()
+                .0
+                < 1e-12
+        );
         // The invariance argument: with the draw tied to the model's
         // source power, charging energy is delta*(d+beta)^2/alpha
         // regardless of transmit power.
-        const { assert!(SIM_CHARGE_DRAW_W > SIM_FITTED_SOURCE_W) }; // overhead is positive
+        const { assert!(SIM_CHARGE_DRAW_W.0 > SIM_FITTED_SOURCE_W.0) }; // overhead is positive
     }
 
     #[test]
     fn testbed_coords_inside_field() {
         for (x, y) in TESTBED_SENSOR_COORDS {
-            assert!((0.0..=TESTBED_FIELD_SIDE_M).contains(&x));
-            assert!((0.0..=TESTBED_FIELD_SIDE_M).contains(&y));
+            assert!((0.0..=TESTBED_FIELD_SIDE_M.0).contains(&x));
+            assert!((0.0..=TESTBED_FIELD_SIDE_M.0).contains(&y));
         }
     }
 }

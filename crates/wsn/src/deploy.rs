@@ -82,8 +82,8 @@ pub fn perturbed_grid(
     let mut sensors = Vec::with_capacity(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            let x = field.min.x + (c as f64 + 0.5) * field.width() / cols as f64;
-            let y = field.min.y + (r as f64 + 0.5) * field.height() / rows as f64;
+            let x = field.min.x + (c as f64 + 0.5) * field.width() / cols as f64; // cast-ok: grid index to coordinate
+            let y = field.min.y + (r as f64 + 0.5) * field.height() / rows as f64; // cast-ok: grid index to coordinate
             let p = field.clamp(Point::new(
                 x + rng.random_range(-jitter..=jitter),
                 y + rng.random_range(-jitter..=jitter),
@@ -157,7 +157,7 @@ mod tests {
         let n = from_coords(&[(1.0, 2.0), (3.0, 4.0)], Aabb::square(10.0), 0.004);
         assert_eq!(n.sensor(0).pos, Point::new(1.0, 2.0));
         assert_eq!(n.sensor(1).pos, Point::new(3.0, 4.0));
-        assert_eq!(n.sensor(1).demand, 0.004);
+        assert_eq!(n.sensor(1).demand, bc_units::Joules(0.004));
     }
 
     #[test]

@@ -130,7 +130,9 @@ pub fn network_from_csv_str(text: &str, field_padding_m: f64) -> Result<Network,
     if sensors.is_empty() {
         return Err(CsvError::Empty);
     }
-    let bbox = Aabb::from_points(sensors.iter().map(|s| s.pos)).expect("non-empty");
+    let Some(bbox) = Aabb::from_points(sensors.iter().map(|s| s.pos)) else {
+        unreachable!("sensors verified non-empty above");
+    };
     let pad = field_padding_m.max(0.0);
     let field = Aabb::new(
         Point::new(bbox.min.x - pad, bbox.min.y - pad),
@@ -154,7 +156,9 @@ pub fn network_from_csv(path: &Path, field_padding_m: f64) -> Result<Network, Cs
 pub fn network_to_csv_string(net: &Network) -> String {
     let mut out = String::from("x,y,demand\n");
     for s in net.sensors() {
-        out.push_str(&format!("{},{},{}\n", s.pos.x, s.pos.y, s.demand));
+        // Bare number, not the Display form: CSV cells must round-trip
+        // through `parse::<f64>`.
+        out.push_str(&format!("{},{},{}\n", s.pos.x, s.pos.y, s.demand.0));
     }
     out
 }
@@ -190,7 +194,7 @@ mod tests {
         let text = "\n x , y , demand \n1.0, 2.0, 3.0\n# comment\n\n4.5,6.5,0.5\n";
         let net = network_from_csv_str(text, 1.0).unwrap();
         assert_eq!(net.len(), 2);
-        assert_eq!(net.sensor(1).demand, 0.5);
+        assert_eq!(net.sensor(1).demand, bc_units::Joules(0.5));
         // Padding applied to the field.
         assert!(net.field().min.x <= 0.0);
     }

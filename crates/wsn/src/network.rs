@@ -126,7 +126,7 @@ impl Network {
             .iter()
             .map(|&p| self.within_radius(p, radius).len() - 1)
             .sum();
-        total as f64 / self.len() as f64
+        total as f64 / self.len() as f64 // cast-ok: neighbour counts to mean
     }
 }
 

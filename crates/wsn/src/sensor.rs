@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use bc_units::Joules;
 use serde::{Deserialize, Serialize};
 
 use bc_geom::Point;
@@ -35,8 +36,10 @@ impl From<usize> for SensorId {
 /// use bc_wsn::{Sensor, SensorId};
 /// use bc_geom::Point;
 ///
+/// use bc_units::Joules;
+///
 /// let s = Sensor::new(SensorId(0), Point::new(10.0, 20.0), 2.0);
-/// assert_eq!(s.demand, 2.0);
+/// assert_eq!(s.demand, Joules(2.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Sensor {
@@ -44,31 +47,35 @@ pub struct Sensor {
     pub id: SensorId,
     /// Deployed position (m).
     pub pos: Point,
-    /// Minimum energy the charging tour must deliver (J) — the paper's
+    /// Minimum energy the charging tour must deliver — the paper's
     /// per-sensor threshold `delta`.
-    pub demand: f64,
+    pub demand: Joules,
 }
 
 impl Sensor {
-    /// Creates a sensor.
+    /// Creates a sensor from a raw demand magnitude in joules.
     ///
     /// # Panics
     ///
-    /// Panics if `demand` is negative, not finite, or the position is not
-    /// finite.
-    pub fn new(id: SensorId, pos: Point, demand: f64) -> Self {
+    /// Panics if `demand_j` is negative, not finite, or the position is
+    /// not finite.
+    pub fn new(id: SensorId, pos: Point, demand_j: f64) -> Self {
         assert!(pos.is_finite(), "sensor position must be finite");
         assert!(
-            demand.is_finite() && demand >= 0.0,
-            "sensor demand must be non-negative, got {demand}"
+            demand_j.is_finite() && demand_j >= 0.0,
+            "sensor demand must be non-negative, got {demand_j}"
         );
-        Sensor { id, pos, demand }
+        Sensor {
+            id,
+            pos,
+            demand: Joules(demand_j),
+        }
     }
 }
 
 impl fmt::Display for Sensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{} (delta={} J)", self.id, self.pos, self.demand)
+        write!(f, "{}@{} (delta={})", self.id, self.pos, self.demand)
     }
 }
 

@@ -65,8 +65,9 @@ impl GridIndex {
         }
     }
 
+    #[allow(clippy::cast_possible_truncation)] // field coordinates are far below i64 range
     fn key(p: Point, cell: f64) -> (i64, i64) {
-        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64) // cast-ok: finite grid cell index
     }
 
     /// Indices of all points within `radius` of `center` (inclusive).
@@ -81,7 +82,8 @@ impl GridIndex {
             return Vec::new();
         };
         let r2 = radius * radius;
-        let span = (radius / self.cell).ceil() as i64;
+        #[allow(clippy::cast_possible_truncation)] // radius/cell validated finite and small
+        let span = (radius / self.cell).ceil() as i64; // cast-ok: cell span is small and non-negative
         let (cx, cy) = Self::key(center, self.cell);
         let mut out = Vec::new();
         for gx in (cx - span).max(ox0)..=(cx + span).min(ox1) {

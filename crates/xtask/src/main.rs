@@ -1,0 +1,469 @@
+//! Offline workspace lint driver, invoked as `cargo xtask lint`.
+//!
+//! Complements `cargo clippy` (which enforces the `[workspace.lints]`
+//! table at compile time) with source-level checks that clippy cannot
+//! express:
+//!
+//! 1. **Unannotated numeric casts** — ` as f64` / ` as usize` / ` as
+//!    u64` / ` as u32` / ` as i64` / ` as i32` in library code must carry
+//!    an inline `// cast-ok: <reason>` audit marker. The marker is the
+//!    repo's allowlist: every cast of a physical quantity is expected to
+//!    go through the `bc-units` newtypes instead, so a raw cast is only
+//!    acceptable for counts, indices and bit manipulation — and must say
+//!    so.
+//! 2. **Panicking extractors** — `.unwrap()` / `.expect(` outside
+//!    `#[cfg(test)]` code. The error layer of PR 1 exists precisely so
+//!    library code never panics on fallible paths.
+//! 3. **Raw `f64` quantity fields** — `pub <name>_{j,s,m,m2,w,mps,jpm}:
+//!    f64` struct fields in `crates/wpt` and `crates/core`, which must be
+//!    `bc-units` newtypes (`Joules`, `Seconds`, `Meters`, ...).
+//! 4. **Lint-table drift** — the root `Cargo.toml` must keep denying
+//!    `unwrap_used`, `expect_used`, `cast_possible_truncation` and
+//!    `cast_sign_loss`, and every library crate must opt in with
+//!    `[lints] workspace = true`.
+//!
+//! Scope: `src/` trees of the root facade and every `crates/*` member
+//! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
+//! are exempt (test and demo code may panic freely; clippy.toml grants
+//! the same exemption to unit tests). Within a file, everything after the
+//! first `#[cfg(test)]` line is ignored — by repo convention test modules
+//! sit at the bottom of the file — and comment-only lines are skipped.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs every check against the workspace rooted at the manifest dir.
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+
+    for file in library_sources(&root) {
+        let Ok(text) = fs::read_to_string(&file) else {
+            eprintln!("xtask: unreadable source file {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        let label = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        violations.extend(scan_source(&label, &text));
+    }
+
+    violations.extend(check_lint_table(&root));
+    violations.extend(check_crate_lint_optin(&root));
+
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// One finding, printed in `file:line: [rule] message` compiler style.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: Rule,
+    excerpt: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    UnannotatedCast,
+    PanickingExtractor,
+    RawQuantityField,
+    LintTableDrift,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (name, hint) = match self.rule {
+            Rule::UnannotatedCast => (
+                "unannotated-cast",
+                "add `// cast-ok: <reason>` or route through bc-units",
+            ),
+            Rule::PanickingExtractor => (
+                "panicking-extractor",
+                "return an error (see PlanError/ExecError) instead of panicking",
+            ),
+            Rule::RawQuantityField => (
+                "raw-quantity-field",
+                "use a bc-units newtype (Joules, Seconds, Meters, ...)",
+            ),
+            Rule::LintTableDrift => ("lint-table-drift", "restore the workspace lint config"),
+        };
+        write!(
+            f,
+            "{}:{}: [{name}] {} ({hint})",
+            self.file,
+            self.line,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// The numeric casts that require an audit marker in library code.
+const CAST_PATTERNS: [&str; 6] = [
+    " as f64", " as usize", " as u64", " as u32", " as i64", " as i32",
+];
+
+/// Suffixes that mark a field as a physical quantity (matching the
+/// `bc-units` catalog: Joules, Seconds, Meters, Meters2, Watts,
+/// MetersPerSecond, JoulesPerMeter).
+const QUANTITY_SUFFIXES: [&str; 7] = ["_j", "_s", "_m", "_m2", "_w", "_mps", "_jpm"];
+
+/// Scans one library source file; `label` is the path reported in
+/// findings. Pure so the self-tests can feed seeded sources.
+fn scan_source(label: &str, text: &str) -> Vec<Violation> {
+    let quantity_crate = label.contains("crates/wpt/") || label.contains("crates/core/");
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        // Test modules sit at the bottom of each file by convention;
+        // everything after the marker is exempt (clippy.toml grants the
+        // same exemption via allow-unwrap-in-tests).
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue; // comment-only lines, including /// and //! docs
+        }
+        let lineno = idx + 1;
+
+        if !line.contains("cast-ok:")
+            && CAST_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: lineno,
+                rule: Rule::UnannotatedCast,
+                excerpt: line.to_string(),
+            });
+        }
+
+        if line.contains(".unwrap()") || line.contains(".expect(") {
+            out.push(Violation {
+                file: label.to_string(),
+                line: lineno,
+                rule: Rule::PanickingExtractor,
+                excerpt: line.to_string(),
+            });
+        }
+
+        if quantity_crate {
+            if let Some(field) = raw_quantity_field(trimmed) {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: lineno,
+                    rule: Rule::RawQuantityField,
+                    excerpt: field.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Returns the declaration when `line` is a `pub <name>_<unit>: f64`
+/// struct field whose name carries a quantity suffix.
+fn raw_quantity_field(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("pub ")?;
+    let colon = rest.find(':')?;
+    let (name, ty) = rest.split_at(colon);
+    let name = name.trim();
+    let ty = ty[1..].trim().trim_end_matches(',');
+    if ty != "f64" {
+        return None;
+    }
+    // Field names are plain identifiers; anything else (fn signatures,
+    // generics) has already failed the `find(':')` shape above or fails
+    // the identifier check here.
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    QUANTITY_SUFFIXES
+        .iter()
+        .any(|s| name.ends_with(s))
+        .then_some(line)
+}
+
+/// The four clippy lints the workspace must keep denying.
+const REQUIRED_DENIES: [&str; 4] = [
+    "unwrap_used",
+    "expect_used",
+    "cast_possible_truncation",
+    "cast_sign_loss",
+];
+
+/// Checks the root manifest still denies the required clippy lints.
+fn check_lint_table(root: &Path) -> Vec<Violation> {
+    let manifest = root.join("Cargo.toml");
+    let Ok(text) = fs::read_to_string(&manifest) else {
+        return vec![Violation {
+            file: manifest.display().to_string(),
+            line: 0,
+            rule: Rule::LintTableDrift,
+            excerpt: "root Cargo.toml unreadable".to_string(),
+        }];
+    };
+    lint_table_violations("Cargo.toml", &text)
+}
+
+/// Pure core of [`check_lint_table`] for the self-tests.
+fn lint_table_violations(label: &str, manifest: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    let mut denied: Vec<&str> = Vec::new();
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_table = t == "[workspace.lints.clippy]";
+            continue;
+        }
+        if in_table {
+            if let Some((key, value)) = t.split_once('=') {
+                if value.contains("deny") {
+                    denied.push(key.trim());
+                }
+            }
+        }
+    }
+    for lint in REQUIRED_DENIES {
+        if !denied.contains(&lint) {
+            out.push(Violation {
+                file: label.to_string(),
+                line: 0,
+                rule: Rule::LintTableDrift,
+                excerpt: format!("[workspace.lints.clippy] must deny `{lint}`"),
+            });
+        }
+    }
+    out
+}
+
+/// Checks every scanned crate manifest opts into the workspace lints.
+fn check_crate_lint_optin(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for dir in crate_dirs(root) {
+        let manifest = dir.join("Cargo.toml");
+        let label = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .display()
+            .to_string();
+        let ok = fs::read_to_string(&manifest)
+            .is_ok_and(|text| manifest_opts_into_lints(&text));
+        if !ok {
+            out.push(Violation {
+                file: label,
+                line: 0,
+                rule: Rule::LintTableDrift,
+                excerpt: "crate must set `[lints] workspace = true`".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// True when a crate manifest contains `[lints] workspace = true`.
+fn manifest_opts_into_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+            continue;
+        }
+        if in_lints {
+            if let Some((key, value)) = t.split_once('=') {
+                if key.trim() == "workspace" && value.trim() == "true" {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Workspace root: the parent of this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// The crate directories whose `src/` trees are linted: the root facade
+/// plus every `crates/*` member except xtask itself (whose source quotes
+/// the banned patterns). `vendor/` stubs are third-party API shims and
+/// exempt.
+fn crate_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf()];
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return dirs;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() && path.file_name().is_some_and(|n| n != "xtask") {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    dirs
+}
+
+/// All `.rs` files under the linted crates' `src/` trees.
+fn library_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in crate_dirs(root) {
+        collect_rs(&dir.join("src"), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_cast_without_marker_is_flagged() {
+        let src = "fn f(n: usize) -> f64 {\n    n as f64\n}\n";
+        let v = scan_source("crates/sim/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnannotatedCast);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn cast_with_marker_passes() {
+        let src = "fn f(n: usize) -> f64 {\n    n as f64 // cast-ok: count to float\n}\n";
+        assert!(scan_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged_outside_tests() {
+        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"h\");\n}\n";
+        let v = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::PanickingExtractor));
+    }
+
+    #[test]
+    fn unwrap_or_else_and_comments_pass() {
+        let src = "//! docs mention .unwrap() freely\n\
+                   /// and n as f64 too\n\
+                   fn f() {\n\
+                       let x = g().unwrap_or_else(|_| 0);\n\
+                       let y = h().unwrap_or(1);\n\
+                   }\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { h().unwrap(); }\n}\n";
+        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_quantity_field_flagged_in_core_only() {
+        let src = "pub struct S {\n    pub total_energy_j: f64,\n    pub count: usize,\n}\n";
+        let v = scan_source("crates/core/src/plan.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RawQuantityField);
+        // Outside wpt/core the typed-field rule does not apply.
+        assert!(scan_source("crates/geom/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn typed_quantity_field_passes() {
+        let src = "pub struct S {\n    pub total_energy_j: Joules,\n    pub efficiency: f64,\n}\n";
+        assert!(scan_source("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_table_drift_detected() {
+        let good = "[workspace.lints.clippy]\n\
+                    unwrap_used = \"deny\"\n\
+                    expect_used = \"deny\"\n\
+                    cast_possible_truncation = \"deny\"\n\
+                    cast_sign_loss = \"deny\"\n";
+        assert!(lint_table_violations("Cargo.toml", good).is_empty());
+        let drifted = good.replace("expect_used = \"deny\"", "expect_used = \"warn\"");
+        let v = lint_table_violations("Cargo.toml", &drifted);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].excerpt.contains("expect_used"));
+    }
+
+    #[test]
+    fn manifest_optin_detected() {
+        assert!(manifest_opts_into_lints("[lints]\nworkspace = true\n"));
+        assert!(!manifest_opts_into_lints("[package]\nname = \"x\"\n"));
+        assert!(!manifest_opts_into_lints("[lints]\nworkspace = false\n"));
+    }
+
+    #[test]
+    fn full_tree_is_clean() {
+        // The repo itself must pass its own lint — the acceptance
+        // criterion for `cargo xtask lint` exiting 0.
+        let root = workspace_root();
+        let mut violations = Vec::new();
+        for file in library_sources(&root) {
+            let text = std::fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+            let label = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            violations.extend(scan_source(&label, &text));
+        }
+        violations.extend(check_lint_table(&root));
+        violations.extend(check_crate_lint_optin(&root));
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

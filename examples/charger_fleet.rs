@@ -10,6 +10,7 @@
 //! cargo run --release --example charger_fleet [n_sensors]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::core::{plan_fleet, planner::Algorithm};
 use bundle_charging::prelude::*;
 
@@ -27,7 +28,7 @@ fn main() {
         "{:>9} {:>12} {:>14} {:>14} {:>18}",
         "chargers", "makespan", "fleet energy", "vs 1 charger", "per-charger stops"
     );
-    let mut baseline: Option<(f64, f64)> = None;
+    let mut baseline: Option<(Seconds, Joules)> = None;
     for k in [1usize, 2, 3, 4, 6, 8] {
         let fleet = plan_fleet(&net, &cfg, Algorithm::BcOpt, k);
         fleet
@@ -44,8 +45,8 @@ fn main() {
         println!(
             "{:>9} {:>10.0} s {:>12.0} J {:>+12.1} % {:>18}",
             fleet.num_chargers(),
-            makespan,
-            energy,
+            makespan.0,
+            energy.0,
             100.0 * (energy / e0 - 1.0),
             stops.join("+"),
         );

@@ -9,6 +9,7 @@
 //! cargo run --release --example fault_drill
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::prelude::*;
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
     let nominal = plan.metrics(&cfg.energy);
     println!(
         "40 sensors, 300 m x 300 m; nominal tour: {} stops, {:.0} J\n",
-        nominal.num_stops, nominal.total_energy_j
+        nominal.num_stops, nominal.total_energy_j.0
     );
 
     let faults = FaultModel::with_rate(42, 0.3);
@@ -34,9 +35,9 @@ fn main() {
         println!(
             "{:>16} {:>11.0} {:>11.0} {:>8.0} s {:>8} {:>8} {:>6}",
             policy.name(),
-            rep.total_energy_j,
-            rep.extra_energy_j,
-            rep.recovery_latency_s,
+            rep.total_energy_j.0,
+            rep.extra_energy_j.0,
+            rep.recovery_latency_s.0,
             rep.served.len(),
             rep.stranded.len(),
             rep.fault_deaths.len(),

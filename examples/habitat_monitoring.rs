@@ -12,6 +12,7 @@
 //! cargo run --release --example habitat_monitoring
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::prelude::*;
 
 fn main() {

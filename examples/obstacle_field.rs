@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "straight-line tour (impossible to drive): {:.0} m",
-        naive.tour_length()
+        naive.tour_length().0
     );
     let illegal = naive
         .stops
@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .count();
     println!(
         "naive order, traced over the field:       {:.0} m ({:.0} J; parks {} time(s) INSIDE a building)",
-        naive_route.length_m,
-        naive_route.metrics(&naive, &cfg.energy).total_energy_j,
+        naive_route.length_m.0,
+        naive_route.metrics(&naive, &cfg.energy).total_energy_j.0,
         illegal,
     );
     let legal = plan
@@ -69,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .all(|s| !terrain.inside_obstacle(s.anchor()));
     println!(
         "terrain-aware order, actually driven:     {:.0} m ({:.0} J; all stops driveable: {legal})",
-        route.length_m,
-        route.metrics(&plan, &cfg.energy).total_energy_j,
+        route.length_m.0,
+        route.metrics(&plan, &cfg.energy).total_energy_j.0,
     );
     let detour_legs = route.legs.iter().filter(|l| l.len() > 2).count();
     println!("legs that detour around a building:       {detour_legs}");

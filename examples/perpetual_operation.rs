@@ -11,6 +11,7 @@
 //! cargo run --release --example perpetual_operation
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::core::tighten;
 use bundle_charging::prelude::*;
 use bundle_charging::sim::lifetime::{simulate, LifetimeConfig};
@@ -49,11 +50,11 @@ fn main() {
         "\ncross-stop dwell tightening ({} sweeps): dwell {:.0} s -> {:.0} s \
          ({:.1}% saved), round energy {:.0} J -> {:.0} J",
         report.sweeps,
-        report.dwell_before_s,
-        report.dwell_after_s,
+        report.dwell_before_s.0,
+        report.dwell_after_s.0,
         100.0 * report.saving(),
-        before.total_energy_j,
-        after.total_energy_j,
+        before.total_energy_j.0,
+        after.total_energy_j.0,
     );
     tighten::validate_cross_credit(&plan, &net, &cfg.charging)
         .expect("tightened plan must still fully charge everyone");

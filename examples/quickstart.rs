@@ -4,6 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::prelude::*;
 
 fn main() {
@@ -27,9 +28,9 @@ fn main() {
             "{:7}  stops: {:3}  tour: {:7.1} m  charge: {:7.1} s  energy: {:8.1} J",
             algo.name(),
             m.num_stops,
-            m.tour_length_m,
-            m.charge_time_s,
-            m.total_energy_j,
+            m.tour_length_m.0,
+            m.charge_time_s.0,
+            m.total_energy_j.0,
         );
     }
 
@@ -42,7 +43,7 @@ fn main() {
             i,
             stop.anchor(),
             stop.bundle.len(),
-            stop.dwell,
+            stop.dwell.0,
         );
     }
 }

@@ -9,6 +9,7 @@
 //! cargo run --release --example radius_tuning [n_sensors] [field_side_m]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::prelude::*;
 
 fn main() {
@@ -33,7 +34,7 @@ fn main() {
     );
 
     let radii = [5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0, 100.0];
-    let mut best: Option<(f64, f64)> = None;
+    let mut best: Option<(f64, Joules)> = None;
     let mut rows = Vec::new();
     for r in radii {
         let cfg = PlannerConfig::paper_sim(r);
@@ -51,9 +52,9 @@ fn main() {
             "{:>8.1} {:>7} {:>10.1} {:>10.1} {:>12.1}   {}",
             r,
             m.num_stops,
-            m.tour_length_m,
-            m.charge_time_s,
-            m.total_energy_j,
+            m.tour_length_m.0,
+            m.charge_time_s.0,
+            m.total_energy_j.0,
             if r == best_r { "<== optimal" } else { "" }
         );
     }

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = plan.metrics(&cfg.energy);
     println!(
         "BC-OPT: {} stops, {:.0} m tour, {:.0} s charging, {:.0} J total",
-        m.num_stops, m.tour_length_m, m.charge_time_s, m.total_energy_j
+        m.num_stops, m.tour_length_m.0, m.charge_time_s.0, m.total_energy_j.0
     );
     let trep = tighten::tighten_dwells(&mut plan, &net, &cfg.charging, 50);
     println!(
@@ -63,13 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "charger battery {budget:.0} J -> {} sortie(s), worst {:.0} J, total {:.0} J",
                 sp.len(),
-                sp.max_sortie_energy_j(),
-                sp.total_energy_j
+                sp.max_sortie_energy_j().0,
+                sp.total_energy_j.0
             );
             for (i, s) in sp.sorties.iter().enumerate() {
                 println!(
                     "  sortie {i}: stops {:?}, {:.0} m, {:.0} s dwell, {:.0} J",
-                    s.stops, s.distance_m, s.dwell_s, s.energy_j
+                    s.stops, s.distance_m.0, s.dwell_s.0, s.energy_j.0
                 );
             }
         }

@@ -11,6 +11,7 @@
 //! cargo run --release --example smart_dust
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // demo binary: panics are fine
 use bundle_charging::prelude::*;
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
 
     // Lower-level API: generate the bundles ourselves and inspect them.
     let r = 15.0;
-    let bundles = generate_bundles(&net, r, BundleStrategy::Greedy);
+    let bundles = generate_bundles(&net, Meters(r), BundleStrategy::Greedy);
     let biggest = bundles.iter().map(ChargingBundle::len).max().unwrap();
     println!(
         "greedy bundle generation at r = {r} m: {} bundles (largest holds {} motes)",
@@ -43,7 +44,7 @@ fn main() {
     }
 
     // Compare against the grid baseline on the same network.
-    let grid = generate_bundles(&net, r, BundleStrategy::Grid);
+    let grid = generate_bundles(&net, Meters(r), BundleStrategy::Grid);
     println!(
         "grid baseline produces {} bundles ({}% more stops)\n",
         grid.len(),
@@ -60,8 +61,8 @@ fn main() {
             "{:7}  stops: {:3}  tour: {:7.1} m  energy: {:9.1} J  ({:.0}% of SC)",
             algo.name(),
             m.num_stops,
-            m.tour_length_m,
-            m.total_energy_j,
+            m.tour_length_m.0,
+            m.total_energy_j.0,
             100.0 * m.total_energy_j
                 / planner::single_charging(&net, &cfg)
                     .metrics(&cfg.energy)

@@ -67,7 +67,7 @@ fn main() {
     for (i, s) in noisy.sensors.iter().enumerate() {
         println!(
             "  s{i}: harvested {:7.4} J (demand {:.4} J)",
-            s.harvested_j, s.demand_j
+            s.harvested_j.0, s.demand_j.0
         );
     }
 }

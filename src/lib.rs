@@ -12,6 +12,7 @@
 //!
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
+//! | [`units`] | `bc-units` | zero-cost dimensional newtypes ([`units::Joules`], [`units::Meters`], …) used across all public APIs |
 //! | [`geom`] | `bc-geom` | points, disks, smallest enclosing disk (MinDisk), ellipse–circle tangency (Theorems 4–5) |
 //! | [`tsp`] | `bc-tsp` | tour construction, 2-opt / Or-opt, Held–Karp, MST bounds |
 //! | [`setcover`] | `bc-setcover` | greedy (`ln n + 1`) and exact set cover |
@@ -35,8 +36,10 @@
 //!
 //! // Every sensor is fully charged, and the cost is itemised.
 //! assert!(plan.validate(&net, &cfg.charging).is_ok());
+//! // Metrics carry their dimensions: lengths are `Meters`, energies are
+//! // `Joules` — the Display impls append the unit suffix.
 //! let m = plan.metrics(&cfg.energy);
-//! println!("{} stops, {:.0} m, {:.0} J", m.num_stops, m.tour_length_m, m.total_energy_j);
+//! println!("{} stops, {}, {}", m.num_stops, m.tour_length_m, m.total_energy_j);
 //! ```
 
 #![warn(missing_docs)]
@@ -47,6 +50,7 @@ pub use bc_setcover as setcover;
 pub use bc_sim as sim;
 pub use bc_testbed as testbed;
 pub use bc_tsp as tsp;
+pub use bc_units as units;
 pub use bc_wpt as wpt;
 pub use bc_wsn as wsn;
 
@@ -59,6 +63,7 @@ pub mod prelude {
         RecoveryPolicy, Stop,
     };
     pub use bc_geom::{Aabb, Disk, Point};
+    pub use bc_units::{Joules, JoulesPerMeter, Meters, MetersPerSecond, Seconds, Watts};
     pub use bc_wpt::{ChargingModel, EnergyModel};
     pub use bc_wsn::{deploy, Network, Sensor, SensorId};
 }

@@ -1,0 +1,84 @@
+//! Property-based tests of the `bc_core::contracts` invariant catalog
+//! (proptest): random deployments, bundle radii and fault schedules must
+//! never trip a contract.
+//!
+//! This file runs in the dev profile, so the planners and the executor
+//! also re-check the same contracts through their built-in
+//! `debug_assert_*` hooks — a violation anywhere in the pipeline panics
+//! the test even before the explicit `check_*` assertions below run.
+
+use proptest::prelude::*;
+
+use bundle_charging::core::contracts;
+use bundle_charging::core::planner::{run, try_run, Algorithm};
+use bundle_charging::core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
+use bundle_charging::geom::Aabb;
+use bundle_charging::wsn::deploy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every planner's output satisfies the full plan contract — bundle
+    /// radii within `r`, dwell times matching Eq. 1, full sensor cover —
+    /// on arbitrary uniform deployments.
+    #[test]
+    fn planner_contracts_hold_on_random_networks(
+        seed in 0u64..1_000,
+        n in 5usize..40,
+        radius in 5.0f64..60.0,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(400.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(radius);
+        for algo in Algorithm::ALL {
+            let plan = try_run(algo, &net, &cfg).expect("valid input");
+            prop_assert!(
+                contracts::check_plan(&plan, &net, &cfg).is_ok(),
+                "{algo}: plan contract violated"
+            );
+        }
+    }
+
+    /// Theorem 4: BC-OPT never increases the total operating energy over
+    /// BC, whatever the deployment or radius.
+    #[test]
+    fn bc_opt_never_regresses(
+        seed in 0u64..1_000,
+        n in 5usize..35,
+        radius in 5.0f64..50.0,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(500.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(radius);
+        let bc = run(Algorithm::Bc, &net, &cfg);
+        let opt = run(Algorithm::BcOpt, &net, &cfg);
+        prop_assert!(contracts::check_no_regression(
+            bc.metrics(&cfg.energy).total_energy_j,
+            opt.metrics(&cfg.energy).total_energy_j,
+        ).is_ok());
+    }
+
+    /// Execution reports balance their energy ledger — total equals
+    /// movement plus charging — under every recovery policy and random
+    /// fault schedules from PR 1's fault model.
+    #[test]
+    fn report_energy_balances_under_random_faults(
+        seed in 0u64..500,
+        net_seed in 0u64..200,
+        rate in 0.0f64..0.6,
+        round in 0u64..8,
+        policy_idx in 0usize..3,
+    ) {
+        let net = deploy::uniform(20, Aabb::square(300.0), 2.0, net_seed);
+        let cfg = PlannerConfig::paper_sim(30.0);
+        let plan = run(Algorithm::BcOpt, &net, &cfg);
+        let faults = FaultModel::with_rate(seed, rate);
+        let policy = RecoveryPolicy::ALL[policy_idx % RecoveryPolicy::ALL.len()];
+        let rep = Executor::new(&net, &cfg)
+            .with_policy(policy)
+            .execute(&plan, &faults, round)
+            .expect("valid config and fault model");
+        prop_assert!(
+            contracts::check_report_energy(&rep).is_ok(),
+            "{policy:?}: energy ledger out of balance"
+        );
+    }
+}

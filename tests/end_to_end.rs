@@ -23,9 +23,9 @@ fn all_algorithms_feasible_on_varied_deployments() {
                     .unwrap_or_else(|e| panic!("net {ni}, r {r}, {algo}: {e}"));
                 let m = plan.metrics(&cfg.energy);
                 assert!(
-                    (m.total_energy_j - m.move_energy_j - m.charge_energy_j).abs() < 1e-6
+                    (m.total_energy_j - m.move_energy_j - m.charge_energy_j).abs() < Joules(1e-6)
                 );
-                assert!(m.tour_length_m >= 0.0 && m.charge_time_s > 0.0);
+                assert!(m.tour_length_m >= Meters(0.0) && m.charge_time_s > Seconds(0.0));
             }
         }
     }
@@ -34,9 +34,9 @@ fn all_algorithms_feasible_on_varied_deployments() {
 /// The paper's headline ordering at the dense evaluation point.
 #[test]
 fn energy_ordering_at_dense_point() {
-    let mut sc_total = 0.0;
-    let mut bc_total = 0.0;
-    let mut opt_total = 0.0;
+    let mut sc_total = Joules(0.0);
+    let mut bc_total = Joules(0.0);
+    let mut opt_total = Joules(0.0);
     for seed in 0..5u64 {
         let net = deploy::uniform(150, Aabb::square(300.0), 2.0, seed);
         let cfg = PlannerConfig::paper_sim(30.0);
@@ -49,8 +49,8 @@ fn energy_ordering_at_dense_point() {
         bc_total += e(Algorithm::Bc);
         opt_total += e(Algorithm::BcOpt);
     }
-    assert!(opt_total <= bc_total + 1e-6, "BC-OPT must not lose to BC");
-    assert!(bc_total < 0.75 * sc_total, "bundling should save >25% here");
+    assert!(opt_total <= bc_total + Joules(1e-6), "BC-OPT must not lose to BC");
+    assert!(bc_total < sc_total * 0.75, "bundling should save >25% here");
 }
 
 /// Plans composed from manually generated bundles match the planner's
@@ -59,7 +59,7 @@ fn energy_ordering_at_dense_point() {
 fn manual_bundle_plan_matches_bc() {
     let net = deploy::uniform(40, Aabb::square(300.0), 2.0, 9);
     let cfg = PlannerConfig::paper_sim(25.0);
-    let bundles = generate_bundles(&net, 25.0, BundleStrategy::Greedy);
+    let bundles = generate_bundles(&net, Meters(25.0), BundleStrategy::Greedy);
     let total_sensors: usize = bundles.iter().map(ChargingBundle::len).sum();
     assert_eq!(total_sensors, 40);
     // Dwell of each bundle must charge its farthest member exactly.
@@ -69,8 +69,8 @@ fn manual_bundle_plan_matches_bc() {
             .sensors
             .iter()
             .map(|&s| b.member_distance(s, &net))
-            .fold(0.0, f64::max);
-        assert!((dwell - cfg.charging.charge_time(worst, 2.0)).abs() < 1e-9);
+            .fold(Meters(0.0), Meters::max);
+        assert!((dwell - cfg.charging.charge_time(worst, Joules(2.0))).abs() < Seconds(1e-9));
     }
 }
 
@@ -83,9 +83,9 @@ fn rig_execution_matches_plan_prediction() {
     let plan = planner::bundle_charging_opt(&net, &cfg);
     let report = TestbedRig::new(&net, &cfg).with_tick(0.5).execute(&plan);
     let m = plan.metrics(&cfg.energy);
-    assert!((report.driven_m - m.tour_length_m).abs() < 1e-6);
-    assert!((report.charge_time_s - m.charge_time_s).abs() < 1e-6);
-    assert!((report.total_energy_j() - m.total_energy_j).abs() < 1e-6);
+    assert!((report.driven_m - m.tour_length_m).abs() < Meters(1e-6));
+    assert!((report.charge_time_s - m.charge_time_s).abs() < Seconds(1e-6));
+    assert!((report.total_energy_j() - m.total_energy_j).abs() < Joules(1e-6));
     assert!(report.all_fully_charged());
 }
 
@@ -95,7 +95,7 @@ fn rig_execution_matches_plan_prediction() {
 fn radius_monotonicity_and_sc_invariance() {
     let net = deploy::uniform(60, Aabb::square(300.0), 2.0, 13);
     let mut last_stops = usize::MAX;
-    let mut sc_energy: Option<f64> = None;
+    let mut sc_energy: Option<Joules> = None;
     for r in [5.0, 15.0, 30.0, 60.0] {
         let cfg = PlannerConfig::paper_sim(r);
         let bc = planner::bundle_charging(&net, &cfg);
@@ -105,7 +105,7 @@ fn radius_monotonicity_and_sc_invariance() {
             .metrics(&cfg.energy)
             .total_energy_j;
         if let Some(prev) = sc_energy {
-            assert!((sc - prev).abs() < 1e-9);
+            assert!((sc - prev).abs() < Joules(1e-9));
         }
         sc_energy = Some(sc);
     }

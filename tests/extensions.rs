@@ -25,11 +25,11 @@ fn tighten_then_sortie_pipeline() {
     let floor = plan
         .stops
         .iter()
-        .map(|s| cfg.energy.total_energy(2.0 * net.base().distance(s.anchor()), s.dwell))
-        .fold(0.0, f64::max);
+        .map(|s| cfg.energy.total_energy(Meters(2.0 * net.base().distance(s.anchor())), s.dwell))
+        .fold(Joules(0.0), Joules::max);
     let budget = (single.total_energy_j / 2.0).max(floor * 1.05);
-    let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget).unwrap();
-    assert!(sp.max_sortie_energy_j() <= budget + 1e-6);
+    let sp = split_into_sorties(&plan, net.base(), &cfg.energy, budget.0).unwrap();
+    assert!(sp.max_sortie_energy_j() <= budget + Joules(1e-6));
     assert!(!sp.is_empty());
 }
 
@@ -41,7 +41,7 @@ fn fleet_regions_can_be_tightened() {
     let mut fleet = plan_fleet(&net, &cfg, planner::Algorithm::Bc, 3);
     for (plan, region) in fleet.plans.iter_mut().zip(&fleet.regions) {
         let rep = tighten::tighten_dwells(plan, region, &cfg.charging, 40);
-        assert!(rep.dwell_after_s <= rep.dwell_before_s + 1e-9);
+        assert!(rep.dwell_after_s <= rep.dwell_before_s + Seconds(1e-9));
         tighten::validate_cross_credit(plan, region, &cfg.charging).unwrap();
     }
 }
@@ -100,7 +100,7 @@ fn lifetime_single_round_energy_consistent() {
             let sensors: Vec<_> = net
                 .sensors()
                 .iter()
-                .map(|s| bundle_charging::wsn::Sensor::new(s.id, s.pos, cfg.battery_j))
+                .map(|s| bundle_charging::wsn::Sensor::new(s.id, s.pos, cfg.battery_j.0))
                 .collect();
             Network::new(sensors, net.field(), net.base())
         },
@@ -110,7 +110,7 @@ fn lifetime_single_round_energy_consistent() {
     // round can never start (the freshly charged network is instantly
     // "low" again at this trigger level).
     let round_time = plan.tour_length() / cfg.speed_mps + plan.total_dwell();
-    cfg.horizon_s = round_time - 0.5;
+    cfg.horizon_s = round_time - Seconds(0.5);
     let rep = simulate(&net, &cfg);
     assert_eq!(rep.rounds, 1);
     let expected = plan.metrics(&cfg.planner.energy).total_energy_j;
@@ -132,7 +132,7 @@ fn artifact_generation() {
     let image = svg::render_scene(&net, Some(&plan), None, &svg::SvgStyle::default());
     let mut table = bundle_charging::sim::Table::new("metrics", &["stops", "energy"]);
     let m = plan.metrics(&cfg.energy);
-    table.push_row(&[m.num_stops as f64, m.total_energy_j]);
+    table.push_row(&[m.num_stops as f64, m.total_energy_j.0]);
     let page = html::render_report("artifact test", &[table], &[("tour".into(), image)]);
     assert!(page.contains("<svg"));
     assert!(page.contains("metrics"));

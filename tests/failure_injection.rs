@@ -24,7 +24,7 @@ fn two_coincident_sensors() {
     let cfg = PlannerConfig::paper_sim(3.0);
     assert_all_feasible(&net, &cfg);
     // They must share one bundle at any positive radius.
-    let bundles = generate_bundles(&net, 0.5, BundleStrategy::Greedy);
+    let bundles = generate_bundles(&net, Meters(0.5), BundleStrategy::Greedy);
     assert_eq!(bundles.len(), 1);
 }
 
@@ -63,7 +63,7 @@ fn zero_demand_sensors_need_no_dwell() {
     let cfg = PlannerConfig::paper_sim(5.0);
     let plan = planner::bundle_charging(&net, &cfg);
     assert!(plan.validate(&net, &cfg.charging).is_ok());
-    assert_eq!(plan.total_dwell(), 0.0);
+    assert_eq!(plan.total_dwell(), Seconds(0.0));
 }
 
 #[test]
@@ -85,7 +85,7 @@ fn mixed_demands_respected() {
     // The dwell is driven by the heavy sensor, not the average.
     let stop = &plan.stops[0];
     let d = stop.bundle.member_distance(1, &net);
-    assert!(cfg.charging.delivered_energy(d, stop.dwell) >= 20.0 - 1e-9);
+    assert!(cfg.charging.delivered_energy(d, stop.dwell) >= Joules(20.0 - 1e-9));
 }
 
 #[test]
@@ -104,7 +104,7 @@ fn noisy_rig_with_dwell_margin_still_charges() {
     let cfg = PlannerConfig::paper_sim(10.0);
     let mut plan = planner::bundle_charging(&net, &cfg);
     for stop in &mut plan.stops {
-        stop.dwell *= 1.15;
+        stop.dwell = stop.dwell * 1.15;
     }
     let report = TestbedRig::new(&net, &cfg)
         .with_noise(0.10, 99)
@@ -154,7 +154,7 @@ fn bad_inputs_are_typed_errors_at_every_layer() {
     let plan = planner::bundle_charging(&net, &cfg);
 
     let mut bad_cfg = cfg.clone();
-    bad_cfg.bundle_radius = f64::NAN;
+    bad_cfg.bundle_radius = Meters(f64::NAN);
     assert!(matches!(
         planner::try_run(Algorithm::Bc, &net, &bad_cfg),
         Err(PlanError::Config(ConfigError::BadBundleRadius { .. }))
@@ -189,12 +189,12 @@ fn clean_execution_matches_plan_metrics() {
             .execute(&plan, &FaultModel::none(), 0)
             .unwrap();
         assert!(
-            (rep.total_energy_j - m.total_energy_j).abs() < 1e-6,
+            (rep.total_energy_j - m.total_energy_j).abs() < Joules(1e-6),
             "{algo}: executed {} vs planned {}",
             rep.total_energy_j,
             m.total_energy_j
         );
-        assert!(rep.extra_energy_j.abs() < 1e-9, "{algo}: {}", rep.extra_energy_j);
+        assert!(rep.extra_energy_j.abs() < Joules(1e-9), "{algo}: {}", rep.extra_energy_j);
         assert!(rep.stranded.is_empty() && rep.fault_deaths.is_empty(), "{algo}");
     }
 }

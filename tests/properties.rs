@@ -116,9 +116,9 @@ proptest! {
     fn generation_is_partition(seed in 0u64..1000, n in 1usize..40, r in 1.0f64..80.0) {
         let net = deploy::uniform(n, Aabb::square(200.0), 2.0, seed);
         for s in [BundleStrategy::Greedy, BundleStrategy::Grid, BundleStrategy::Optimal] {
-            let bundles = generate_bundles(&net, r, s);
+            let bundles = generate_bundles(&net, Meters(r), s);
             prop_assert!(
-                bundle_charging::core::generation::is_valid_partition(&bundles, &net, r),
+                bundle_charging::core::generation::is_valid_partition(&bundles, &net, Meters(r)),
                 "{s:?} produced an invalid partition"
             );
         }
@@ -131,7 +131,7 @@ proptest! {
         let cfg = PlannerConfig::paper_sim(25.0);
         let bc = planner::bundle_charging(&net, &cfg).metrics(&cfg.energy).total_energy_j;
         let opt = planner::bundle_charging_opt(&net, &cfg).metrics(&cfg.energy).total_energy_j;
-        prop_assert!(opt <= bc + 1e-6, "BC-OPT {opt} > BC {bc}");
+        prop_assert!(opt <= bc + Joules(1e-6), "BC-OPT {opt} > BC {bc}");
     }
 }
 
@@ -162,11 +162,11 @@ proptest! {
                     .execute(&plan, &faults, seed)
                     .unwrap_or_else(|e| panic!("{algo}/{policy}: {e}"));
                 prop_assert!(
-                    rep.total_energy_j.is_finite() && rep.total_energy_j >= 0.0,
+                    rep.total_energy_j.is_finite() && rep.total_energy_j >= Joules(0.0),
                     "{algo}/{policy}: bad energy {}", rep.total_energy_j
                 );
                 prop_assert!(rep.extra_energy_j.is_finite());
-                prop_assert!(rep.recovery_latency_s.is_finite() && rep.recovery_latency_s >= 0.0);
+                prop_assert!(rep.recovery_latency_s.is_finite() && rep.recovery_latency_s >= Seconds(0.0));
                 let (survivors, served) = rep.served_subplan(&net);
                 prop_assert!(
                     served.validate(&survivors, &cfg.charging).is_ok(),

@@ -13,8 +13,8 @@ fn theorem2_greedy_approximation_bound() {
     for seed in 0..20u64 {
         for r in [20.0, 40.0, 70.0] {
             let net = deploy::uniform(24, Aabb::square(250.0), 2.0, seed);
-            let greedy = generate_bundles(&net, r, BundleStrategy::Greedy).len() as f64;
-            let optimal = generate_bundles(&net, r, BundleStrategy::Optimal).len() as f64;
+            let greedy = generate_bundles(&net, Meters(r), BundleStrategy::Greedy).len() as f64;
+            let optimal = generate_bundles(&net, Meters(r), BundleStrategy::Optimal).len() as f64;
             let bound = (24f64).ln() + 1.0;
             assert!(
                 greedy <= bound * optimal + 1e-9,
@@ -112,9 +112,9 @@ fn two_bundle_tradeoff_eq7_eq8() {
 
     // Conversely, with free movement the optimal anchors stay put.
     let mut free = PlannerConfig::paper_sim(10.0);
-    free.energy = bundle_charging::wpt::EnergyModel::new(0.0, free.energy.charge_draw());
+    free.energy = bundle_charging::wpt::EnergyModel::new(0.0, free.energy.charge_draw().0);
     let opt_free = planner::bundle_charging_opt(&net, &free);
-    assert!((opt_free.tour_length() - bc.tour_length()).abs() < 1e-6,
+    assert!((opt_free.tour_length() - bc.tour_length()).abs() < Meters(1e-6),
         "with E_m = 0 no relocation should happen");
 }
 
@@ -135,7 +135,7 @@ fn theorem1_obg_equals_set_cover() {
     // Exhaustive check over all subsets up to |exact|-1 of a trimmed
     // family would be exponential; instead verify against the packing
     // lower bound.
-    let lb = bundle_charging::core::generation::packing_lower_bound(&net, r);
+    let lb = bundle_charging::core::generation::packing_lower_bound(&net, Meters(r));
     assert!(exact.len() >= lb);
 }
 
