@@ -64,7 +64,10 @@ fn bench_planners(c: &mut Criterion) {
     let cfg = PlannerConfig::paper_sim(30.0);
     for algo in Algorithm::ALL {
         g.bench_function(algo.name(), |b| {
-            b.iter(|| planner::run(black_box(algo), &net, &cfg))
+            b.iter(|| {
+                planner::try_run(black_box(algo), &net, &cfg)
+                    .unwrap_or_else(|e| panic!("{algo}: {e}"))
+            })
         });
     }
     g.finish();

@@ -1,0 +1,138 @@
+//! `pipeline_smoke` — quick-mode pipeline benchmark for CI.
+//!
+//! ```text
+//! pipeline_smoke [--n N] [--seed S] [--out FILE]
+//! ```
+//!
+//! Two measurements, written as a small hand-rolled JSON document
+//! (default `BENCH_pipeline.json`) that the CI bench-smoke job uploads
+//! as an artifact:
+//!
+//! 1. **Candidate enumeration** at `--n` sensors (default 1000) on the
+//!    bench suite's 300 m dense field: serial (`workers = 1`) vs
+//!    parallel (all cores) wall-time and the resulting speedup. The two families are
+//!    asserted identical first — the speedup is only meaningful if the
+//!    parallel path is bit-for-bit equivalent.
+//! 2. **Per-stage pipeline timings** for every algorithm on the Section
+//!    VI-A default scenario (n = 100, 300 m field, r = 10 m), one fresh
+//!    [`PlanContext`] per algorithm so each is billed its own artifact
+//!    builds.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bc_bench::dense_network;
+use bc_core::context::{default_workers, StageTimings};
+use bc_core::planner::Algorithm;
+use bc_core::{CandidateFamily, PlanContext, PlannerConfig};
+
+/// Bundle radius (m) used throughout.
+const RADIUS_M: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: pipeline_smoke [--n N] [--seed S] [--out FILE]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut n = 1000usize;
+    let mut seed = 1000u64;
+    let mut out = PathBuf::from("BENCH_pipeline.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => n = parse_next(args, &mut i)?,
+            "--seed" => seed = parse_next(args, &mut i)?,
+            "--out" => out = PathBuf::from(next_value(args, &mut i)?),
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+        i += 1;
+    }
+    if n == 0 {
+        return Err("--n must be positive".into());
+    }
+
+    let workers = default_workers();
+    eprintln!(">> candidate enumeration: n = {n}, workers = {workers}");
+    let net = dense_network(n, seed);
+
+    let t0 = Instant::now();
+    let serial = CandidateFamily::pair_intersection_par(&net, RADIUS_M, 1); // context-ok: benchmarking the enumeration kernel itself
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = CandidateFamily::pair_intersection_par(&net, RADIUS_M, workers); // context-ok: benchmarking the enumeration kernel itself
+    let parallel_s = t1.elapsed().as_secs_f64();
+    if serial.candidates != parallel.candidates {
+        return Err("parallel candidate family differs from serial".into());
+    }
+    let speedup = serial_s / parallel_s.max(1e-12);
+    eprintln!(
+        "   serial {serial_s:.3} s, parallel {parallel_s:.3} s, speedup {speedup:.2}x, {} candidates",
+        serial.candidates.len()
+    );
+
+    eprintln!(">> per-stage timings: Section VI-A default scenario");
+    let cfg = PlannerConfig::paper_sim(RADIUS_M);
+    let default_net = dense_network(100, seed);
+    let mut stage_json = Vec::new();
+    for algo in Algorithm::ALL {
+        let ctx = PlanContext::new(default_net.clone(), cfg.clone());
+        let staged = ctx
+            .plan(algo)
+            .map_err(|e| format!("{algo}: {e}"))?;
+        eprintln!("   {algo}: total {:.3} s", staged.timings.total().0);
+        stage_json.push(timings_json(algo.name(), &staged.timings));
+    }
+
+    let json = format!
+        (
+        "{{\n  \"bench\": \"pipeline_smoke\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \"radius_m\": {RADIUS_M},\n  \
+         \"num_candidates\": {nc},\n  \"candidates_serial_s\": {serial_s:.6},\n  \
+         \"candidates_parallel_s\": {parallel_s:.6},\n  \"candidates_speedup\": {speedup:.3},\n  \
+         \"stage_timings\": {{\n{stages}\n  }}\n}}\n",
+        cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        nc = serial.candidates.len(),
+        stages = stage_json.join(",\n"),
+    );
+    std::fs::write(&out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("   wrote {}", out.display());
+    Ok(())
+}
+
+fn timings_json(name: &str, t: &StageTimings) -> String {
+    format!(
+        "    \"{name}\": {{\"candidates_s\": {:.6}, \"cover_s\": {:.6}, \"order_s\": {:.6}, \
+         \"tighten_s\": {:.6}, \"total_s\": {:.6}}}",
+        t.candidates_s.0,
+        t.cover_s.0,
+        t.order_s.0,
+        t.tighten_s.0,
+        t.total().0
+    )
+}
+
+fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+}
+
+fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let flag = args[*i].clone();
+    next_value(args, i)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}

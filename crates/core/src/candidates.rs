@@ -21,7 +21,7 @@ use bc_setcover::BitSet;
 use bc_wsn::Network;
 
 /// One candidate bundle: a coverable sensor set plus a feasible anchor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// Member sensor indices as a bitset over the network.
     pub members: BitSet,
@@ -30,7 +30,7 @@ pub struct Candidate {
 }
 
 /// A family of candidate bundles over a network, ready for set cover.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateFamily {
     /// The generation radius `r` the family was built for.
     pub radius: f64,
@@ -50,26 +50,52 @@ impl CandidateFamily {
     ///
     /// Panics if `r` is not positive and finite.
     pub fn pair_intersection(net: &Network, r: f64) -> Self {
+        Self::pair_intersection_par(net, r, 1)
+    }
+
+    /// [`CandidateFamily::pair_intersection`] with the per-sensor circle
+    /// intersections, coverage queries and domination checks fanned out
+    /// over `workers` scoped threads.
+    ///
+    /// The output is byte-identical for every worker count (including 1):
+    /// each parallel step computes an independent per-index result and
+    /// the results are reduced in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive and finite.
+    pub fn pair_intersection_par(net: &Network, r: f64, workers: usize) -> Self {
         assert!(r.is_finite() && r > 0.0, "bundle radius must be positive");
         let n = net.len();
-        let mut anchors: Vec<Point> = Vec::new();
-        // Every sensor position is a candidate anchor (covers at least
-        // itself).
-        anchors.extend(net.positions().iter().copied());
-        // Intersections of radius-r circles around pairs within 2r.
-        for i in 0..n {
+        // Intersections of radius-r circles around pairs within 2r; each
+        // sensor's contribution is independent, so the loop fans out.
+        let per_sensor: Vec<Vec<Point>> = crate::par::par_map(n, workers, |i| {
             let pi = net.sensor(i).pos;
+            let mut pts = Vec::new();
             for j in net.within_radius(pi, 2.0 * r) {
                 if j <= i {
                     continue;
                 }
                 let di = Disk::new(pi, r);
                 let dj = Disk::new(net.sensor(j).pos, r);
-                anchors.extend(di.circle_intersections(&dj));
+                pts.extend(di.circle_intersections(&dj));
             }
+            pts
+        });
+        let mut anchors: Vec<Point> = Vec::new();
+        // Every sensor position is a candidate anchor (covers at least
+        // itself).
+        anchors.extend(net.positions().iter().copied());
+        for pts in per_sensor {
+            anchors.extend(pts);
         }
-        let mut fam = Self::from_anchors(net, r, &anchors);
-        fam.prune_dominated();
+        // Identical anchors always induce identical member sets, which
+        // the member-set dedup would drop anyway (keeping the first) —
+        // dropping them here saves one coverage query per duplicate.
+        let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        anchors.retain(|a| seen.insert((a.x.to_bits(), a.y.to_bits())));
+        let mut fam = Self::from_anchors_par(net, r, &anchors, workers);
+        fam.prune_dominated_par(workers);
         fam
     }
 
@@ -126,17 +152,35 @@ impl CandidateFamily {
     /// Builds the family induced by an explicit list of anchor positions:
     /// each anchor's candidate covers every sensor within `r` of it.
     pub fn from_anchors(net: &Network, r: f64, anchors: &[Point]) -> Self {
+        Self::from_anchors_par(net, r, anchors, 1)
+    }
+
+    /// [`CandidateFamily::from_anchors`] with the coverage queries run in
+    /// contiguous chunks over `workers` threads; each chunk reuses one
+    /// radius-query scratch buffer, and chunks are flattened in order so
+    /// the candidate list is identical to the serial build.
+    fn from_anchors_par(net: &Network, r: f64, anchors: &[Point], workers: usize) -> Self {
+        const CHUNK: usize = 64;
         let n = net.len();
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(anchors.len());
-        for &a in anchors {
-            let members = net.within_radius(a, r);
-            if members.is_empty() {
-                continue;
+        let n_chunks = anchors.len().div_ceil(CHUNK);
+        let per_chunk: Vec<Vec<Candidate>> = crate::par::par_map(n_chunks, workers, |ci| {
+            let mut scratch: Vec<usize> = Vec::new();
+            let mut out = Vec::new();
+            for &a in &anchors[ci * CHUNK..((ci + 1) * CHUNK).min(anchors.len())] {
+                net.within_radius_into(a, r, &mut scratch);
+                if scratch.is_empty() {
+                    continue;
+                }
+                out.push(Candidate {
+                    members: BitSet::from_indices(n, &scratch),
+                    anchor: a,
+                });
             }
-            candidates.push(Candidate {
-                members: BitSet::from_indices(n, &members),
-                anchor: a,
-            });
+            out
+        });
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(anchors.len());
+        for chunk in per_chunk {
+            candidates.extend(chunk);
         }
         let mut fam = CandidateFamily { radius: r, candidates };
         fam.dedup();
@@ -163,21 +207,27 @@ impl CandidateFamily {
     /// Removes candidates whose member set is a strict subset of another
     /// candidate's — they can never be preferred by a minimum cover.
     fn prune_dominated(&mut self) {
+        self.prune_dominated_par(1);
+    }
+
+    /// [`CandidateFamily::prune_dominated`] with the per-candidate
+    /// domination checks fanned out over `workers` threads. Each keep
+    /// decision reads only the immutable set list, so the parallel run is
+    /// identical to the serial one.
+    fn prune_dominated_par(&mut self, workers: usize) {
         let sets: Vec<BitSet> = self.candidates.iter().map(|c| c.members.clone()).collect();
         let counts: Vec<usize> = sets.iter().map(BitSet::count).collect();
-        let mut keep = vec![true; sets.len()];
-        for i in 0..sets.len() {
+        let keep: Vec<bool> = crate::par::par_map(sets.len(), workers, |i| {
             for j in 0..sets.len() {
                 if i != j
-                    && keep[i]
                     && (counts[i] < counts[j] || (counts[i] == counts[j] && i > j))
                     && sets[i].is_subset_of(&sets[j])
                 {
-                    keep[i] = false;
-                    break;
+                    return false;
                 }
             }
-        }
+            true
+        });
         let mut it = keep.iter();
         self.candidates.retain(|_| it.next().copied().unwrap_or(false));
     }
@@ -258,6 +308,24 @@ mod tests {
         let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
         let fam = CandidateFamily::pair_intersection(&net, 5.0);
         assert!(fam.is_empty());
+    }
+
+    #[test]
+    fn parallel_enumeration_is_worker_count_independent() {
+        let net = deploy::uniform(70, Aabb::square(300.0), 2.0, 11);
+        let serial = CandidateFamily::pair_intersection(&net, 35.0);
+        for workers in [2usize, 5, 16] {
+            let par = CandidateFamily::pair_intersection_par(&net, 35.0, workers);
+            assert_eq!(par.len(), serial.len(), "workers={workers}");
+            for (a, b) in par.candidates.iter().zip(&serial.candidates) {
+                assert_eq!(a.anchor, b.anchor, "workers={workers}");
+                assert_eq!(
+                    a.members.iter().collect::<Vec<_>>(),
+                    b.members.iter().collect::<Vec<_>>(),
+                    "workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]

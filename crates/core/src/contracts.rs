@@ -286,7 +286,7 @@ mod tests {
     fn all_planners_satisfy_plan_contracts() {
         let (net, cfg) = net_and_cfg();
         for algo in Algorithm::ALL {
-            let plan = planner::run(algo, &net, &cfg);
+            let plan = planner::try_run(algo, &net, &cfg).unwrap();
             check_plan(&plan, &net, &cfg).unwrap_or_else(|v| panic!("{algo}: {v}"));
         }
     }

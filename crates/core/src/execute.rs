@@ -30,7 +30,6 @@ use bc_wsn::{Network, Sensor};
 use crate::config::ConfigError;
 use crate::faults::{FaultModel, FaultModelError, FaultSchedule};
 use crate::plan::{ChargingPlan, PlanError, Stop};
-use crate::replan;
 use crate::sortie::{split_into_sorties, SortieError};
 use crate::{ChargingBundle, PlannerConfig};
 
@@ -362,9 +361,11 @@ struct ExecState {
     policy: RecoveryPolicy,
     schedule: FaultSchedule,
     pending: VecDeque<Item>,
-    /// Current copy of the network ([`RecoveryPolicy::ReplanRemaining`]
-    /// shrinks it) and the original index of each of its sensors.
-    cur_net: Network,
+    /// Context over the current network revision
+    /// ([`RecoveryPolicy::ReplanRemaining`] shrinks it through the
+    /// cache, which invalidates the cached planning artifacts), plus the
+    /// original index of each of its sensors.
+    cache: crate::context::ContextCache,
     orig_of: Vec<usize>,
     dead: Vec<bool>,
     charged: Vec<bool>,
@@ -424,7 +425,7 @@ impl ExecState {
             round,
             policy: exec.policy,
             pending,
-            cur_net: exec.net.clone(),
+            cache: crate::context::ContextCache::new(exec.net.clone(), exec.cfg.clone()),
             orig_of: (0..exec.net.len()).collect(),
             dead: vec![false; exec.net.len()],
             charged: vec![false; exec.net.len()],
@@ -578,7 +579,7 @@ impl ExecState {
             }
             self.charged[orig] = true;
             served.push(orig);
-            delivered += self.cur_net.sensor(m).demand;
+            delivered += self.cache.network().sensor(m).demand;
         }
         self.duration_s += dwell;
         self.latency_s += dwell - stop.dwell;
@@ -709,8 +710,8 @@ impl ExecState {
                 emptied += 1;
             } else {
                 let bundle =
-                    ChargingBundle::with_anchor(members, stop.bundle.anchor, &self.cur_net);
-                stop.dwell = bundle.dwell_time(&self.cur_net, &exec.cfg.charging);
+                    ChargingBundle::with_anchor(members, stop.bundle.anchor, self.cache.network());
+                stop.dwell = bundle.dwell_time(self.cache.network(), &exec.cfg.charging);
                 stop.bundle = bundle;
             }
         }
@@ -724,8 +725,10 @@ impl ExecState {
     }
 
     /// Rebuilds the unvisited remainder without sensor `ci` via
-    /// [`replan::remove_sensor`], retagging the rebuilt stops.
-    fn replan_remaining(&mut self, exec: &Executor<'_>, ci: usize) -> Result<(), ExecError> {
+    /// [`crate::replan::remove_sensor`] (through the context cache, so
+    /// the cached artifacts are invalidated), retagging the rebuilt
+    /// stops.
+    fn replan_remaining(&mut self, _exec: &Executor<'_>, ci: usize) -> Result<(), ExecError> {
         let old: Vec<(usize, Stop)> = self
             .pending
             .drain(..)
@@ -736,10 +739,9 @@ impl ExecState {
             .collect();
         let remaining = ChargingPlan::new(
             old.iter().map(|(_, s)| s.clone()).collect(),
-            self.cur_net.len(),
+            self.cache.network().len(),
         );
-        let (new_net, new_plan) = replan::remove_sensor(&self.cur_net, &remaining, ci, exec.cfg)?;
-        self.cur_net = new_net;
+        let new_plan = self.cache.remove_sensor(&remaining, ci)?;
         self.orig_of.remove(ci);
         self.replans += 1;
         // remove_sensor keeps stop order, drops dissolved singletons and

@@ -49,8 +49,12 @@ pub fn generate_bundles(net: &Network, r: Meters, strategy: BundleStrategy) -> V
         return Vec::new();
     }
     match strategy {
-        BundleStrategy::Greedy => from_cover(net, &CandidateFamily::pair_intersection(net, r.0), CoverKind::Greedy),
-        BundleStrategy::Optimal => from_cover(net, &CandidateFamily::pair_intersection(net, r.0), CoverKind::Exact),
+        BundleStrategy::Greedy => {
+            cover_bundles(net, &crate::context::serial_candidate_family(net, r.0), false)
+        }
+        BundleStrategy::Optimal => {
+            cover_bundles(net, &crate::context::serial_candidate_family(net, r.0), true)
+        }
         BundleStrategy::Grid => grid_bundles(net, r),
     }
 }
@@ -58,6 +62,19 @@ pub fn generate_bundles(net: &Network, r: Meters, strategy: BundleStrategy) -> V
 enum CoverKind {
     Greedy,
     Exact,
+}
+
+/// Runs set cover over a (possibly shared) candidate family and
+/// materialises the selected candidates as disjoint bundles. The staged
+/// pipeline's Cover stage calls this with the family cached on a
+/// `PlanContext`, so one build serves every algorithm of a sweep.
+pub(crate) fn cover_bundles(
+    net: &Network,
+    family: &CandidateFamily,
+    exact: bool,
+) -> Vec<ChargingBundle> {
+    let kind = if exact { CoverKind::Exact } else { CoverKind::Greedy };
+    from_cover(net, family, kind)
 }
 
 /// Runs set cover over a candidate family and materialises the selected
@@ -107,7 +124,7 @@ fn materialise(net: &Network, family: &CandidateFamily, selected: &[usize]) -> V
 /// smallest-enclosing-disk center of the cell's sensors (which is always
 /// feasible since the whole cell fits in a radius-`r` disk).
 #[allow(clippy::cast_possible_truncation)] // cell indices are bounded by field-size / cell-side
-fn grid_bundles(net: &Network, r: Meters) -> Vec<ChargingBundle> {
+pub(crate) fn grid_bundles(net: &Network, r: Meters) -> Vec<ChargingBundle> {
     let side = r.0 * std::f64::consts::SQRT_2;
     let field = net.field();
     let mut cells: std::collections::HashMap<(i64, i64), Vec<usize>> =

@@ -40,11 +40,13 @@
 pub mod bundle;
 pub mod candidates;
 pub mod config;
+pub mod context;
 pub mod contracts;
 pub mod execute;
 pub mod faults;
 pub mod generation;
 pub mod multi;
+mod par;
 pub mod plan;
 pub mod planner;
 pub mod replan;
@@ -55,11 +57,15 @@ pub mod tighten;
 pub use bundle::ChargingBundle;
 pub use candidates::{Candidate, CandidateFamily};
 pub use config::{ConfigError, DwellPolicy, PlannerConfig};
+pub use context::{
+    BuildCounters, ContextCache, PlanContext, PlanStage, StageKind, StageState, StageTimings,
+    StagedPlan,
+};
 pub use contracts::ContractViolation;
 pub use execute::{ExecError, ExecutedStop, ExecutionReport, Executor, RecoveryPolicy};
 pub use faults::{FaultModel, FaultModelError, FaultSchedule};
 pub use generation::{generate_bundles, BundleStrategy};
-pub use multi::{plan_fleet, MultiChargerPlan};
+pub use multi::{plan_fleet, try_plan_fleet, MultiChargerPlan};
 pub use plan::{ChargingPlan, Metrics, PlanError, Stop};
 pub use replan::{add_sensor, remove_sensor};
 pub use sortie::{split_into_sorties, Sortie, SortieError, SortiePlan};

@@ -16,8 +16,9 @@ use bc_geom::Point;
 use bc_units::{Joules, MetersPerSecond, Seconds};
 use bc_wsn::{Network, Sensor};
 
-use crate::planner::{run, Algorithm};
-use crate::{ChargingPlan, PlannerConfig};
+use crate::context::PlanContext;
+use crate::planner::Algorithm;
+use crate::{ChargingPlan, PlanError, PlannerConfig};
 
 /// A fleet plan: one charging plan per charger.
 #[derive(Debug, Clone)]
@@ -83,24 +84,55 @@ impl MultiChargerPlan {
 ///
 /// # Panics
 ///
-/// Panics if `k == 0`.
+/// Panics if `k == 0` or if planning any region fails (invalid
+/// configuration or demands); use [`try_plan_fleet`] to handle those as
+/// a [`PlanError`].
 pub fn plan_fleet(
     net: &Network,
     cfg: &PlannerConfig,
     algo: Algorithm,
     k: usize,
 ) -> MultiChargerPlan {
+    try_plan_fleet(net, cfg, algo, k).unwrap_or_else(|e| panic!("fleet planning failed: {e}"))
+}
+
+/// Fallible variant of [`plan_fleet`].
+///
+/// Each region is planned through its own [`PlanContext`]; for CSS the
+/// parent network's distance matrix is built once and every region's
+/// matrix is seeded from a [`bc_tsp::DistanceMatrix::submatrix`] view of
+/// it, so the fleet shares one `O(n²)` distance build.
+///
+/// # Errors
+///
+/// The first failing region's [`PlanError`] (invalid configuration or
+/// demands).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn try_plan_fleet(
+    net: &Network,
+    cfg: &PlannerConfig,
+    algo: Algorithm,
+    k: usize,
+) -> Result<MultiChargerPlan, PlanError> {
     assert!(k > 0, "need at least one charger");
     let n = net.len();
     if n == 0 {
-        return MultiChargerPlan {
+        return Ok(MultiChargerPlan {
             plans: Vec::new(),
             assignment: Vec::new(),
             regions: Vec::new(),
-        };
+        });
     }
     let k = k.min(n);
     let assignment = cluster(net.positions(), k);
+
+    // CSS solves a sensor-level TSP per region; submatrix views of one
+    // parent matrix replace the per-region distance rebuilds.
+    let parent = (algo == Algorithm::Css)
+        .then(|| PlanContext::new(net.clone(), cfg.clone()));
 
     let mut regions = Vec::with_capacity(k);
     let mut plans = Vec::with_capacity(k);
@@ -113,7 +145,11 @@ pub fn plan_fleet(
         }
         let sensors: Vec<Sensor> = members.iter().map(|&i| *net.sensor(i)).collect();
         let region = Network::new(sensors, net.field(), net.base());
-        let plan = run(algo, &region, cfg);
+        let ctx = PlanContext::new(region.clone(), cfg.clone());
+        if let Some(parent) = &parent {
+            ctx.seed_sensor_matrix(parent.sensor_matrix().submatrix(&members));
+        }
+        let plan = ctx.plan(algo)?.into_plan();
         for &i in &members {
             final_assignment[i] = region_idx;
         }
@@ -121,11 +157,11 @@ pub fn plan_fleet(
         plans.push(plan);
         region_idx += 1;
     }
-    MultiChargerPlan {
+    Ok(MultiChargerPlan {
         plans,
         assignment: final_assignment,
         regions,
-    }
+    })
 }
 
 /// Farthest-point-initialised Lloyd clustering into `k` groups.

@@ -14,7 +14,19 @@ use crate::{generate_bundles, ChargingPlan, PlannerConfig, Stop};
 /// Dwell times follow `cfg.dwell_policy`.
 pub fn bundle_charging(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
     let bundles = generate_bundles(net, cfg.bundle_radius, cfg.bundle_strategy);
-    let stops: Vec<Stop> = bundles
+    let stops = stops_for_bundles(bundles, net, cfg);
+    order_into_plan(stops, net, &cfg.tsp, cfg.include_base)
+}
+
+/// Turns a bundle family into charging stops under `cfg.dwell_policy`.
+/// Shared between [`bundle_charging`] and the staged pipeline's BC Cover
+/// stage, which supplies bundles covered from a cached candidate family.
+pub(crate) fn stops_for_bundles(
+    bundles: Vec<crate::ChargingBundle>,
+    net: &Network,
+    cfg: &PlannerConfig,
+) -> Vec<Stop> {
+    bundles
         .into_iter()
         .map(|b| match cfg.dwell_policy {
             DwellPolicy::Realized => Stop::for_bundle(b, net, &cfg.charging),
@@ -23,8 +35,7 @@ pub fn bundle_charging(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
                 Stop { bundle: b, dwell }
             }
         })
-        .collect();
-    order_into_plan(stops, net, &cfg.tsp, cfg.include_base)
+        .collect()
 }
 
 #[cfg(test)]

@@ -35,6 +35,22 @@ pub fn bundle_charging_opt(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
 /// in place. Exposed separately so ablations can start from any initial
 /// plan (e.g. grid bundles, or an unimproved TSP order).
 pub fn optimize_tour(plan: &mut ChargingPlan, net: &Network, cfg: &PlannerConfig) {
+    optimize_tour_with_workers(plan, net, cfg, 1);
+}
+
+/// [`optimize_tour`] with the per-anchor `d`-sweep evaluations fanned out
+/// over `workers` scoped threads. The Gauss–Seidel outer structure
+/// (anchor `i` sees its neighbours' already-relocated positions) is
+/// inherently sequential and unchanged; only the independent candidate
+/// evaluations within one anchor's sweep run in parallel, and they are
+/// reduced in step order, so the result is identical for any worker
+/// count.
+pub(crate) fn optimize_tour_with_workers(
+    plan: &mut ChargingPlan,
+    net: &Network,
+    cfg: &PlannerConfig,
+    workers: usize,
+) {
     let n = plan.stops.len();
     if n < 2 {
         return;
@@ -65,7 +81,7 @@ pub fn optimize_tour(plan: &mut ChargingPlan, net: &Network, cfg: &PlannerConfig
             let prev = plan.stops[(i + n - 1) % n].anchor();
             let next = plan.stops[(i + 1) % n].anchor();
             if let Some((anchor, _gain)) =
-                best_relocation(&plan.stops[i], centers[i], prev, next, net, cfg)
+                best_relocation(&plan.stops[i], centers[i], prev, next, net, cfg, workers)
             {
                 let members = plan.stops[i].bundle.sensors.clone();
                 let bundle = ChargingBundle::with_anchor(members, anchor, net);
@@ -89,6 +105,7 @@ fn best_relocation(
     next: Point,
     net: &Network,
     cfg: &PlannerConfig,
+    workers: usize,
 ) -> Option<(Point, Joules)> {
     let energy = &cfg.energy;
     let current_legs = prev.distance(stop.anchor()) + stop.anchor().distance(next);
@@ -102,16 +119,27 @@ fn best_relocation(
         return None;
     }
     let steps = cfg.opt_distance_steps.max(1);
-    let mut best: Option<(Point, Joules)> = None;
-    for k in 1..=steps {
+    // Fan out only when one sweep is expensive enough to amortise the
+    // thread spawns; the gate changes throughput, never the result.
+    let eff_workers = if workers > 1 && stop.bundle.sensors.len() * steps >= 192 {
+        workers
+    } else {
+        1
+    };
+    let evals: Vec<(Point, Joules)> = crate::par::par_map(steps, eff_workers, |idx| {
+        let k = idx + 1;
         let d = d_max * k as f64 / steps as f64; // cast-ok: sweep-step ratio
         let t = tangency::min_focal_sum_on_circle(prev, next, &Disk::new(center, d));
         let bundle = ChargingBundle::with_anchor(stop.bundle.sensors.clone(), t.point, net);
         let dwell = bundle.dwell_time(net, &cfg.charging);
         let cost = energy.movement_energy(Meters(t.focal_sum)) + energy.charging_energy(dwell);
+        (t.point, cost)
+    });
+    let mut best: Option<(Point, Joules)> = None;
+    for (point, cost) in evals {
         let gain = current_cost - cost;
         if gain > Joules(1e-9) && best.as_ref().is_none_or(|&(_, g)| gain > g) {
-            best = Some((t.point, gain));
+            best = Some((point, gain));
         }
     }
     best

@@ -21,7 +21,6 @@ use crate::{ChargingBundle, ChargingPlan, PlannerConfig, Stop};
 
 /// Runs the CSS pipeline with communication range `cfg.bundle_radius`.
 pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
-    let r = cfg.bundle_radius;
     if net.is_empty() {
         return ChargingPlan::new(Vec::new(), 0);
     }
@@ -29,11 +28,24 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
     // Stage 0: sensor-level TSP tour.
     let tour = solve(net.positions(), &cfg.tsp);
 
+    let stops = combine_skip(net, cfg, &tour.order);
+    let mut plan = order_into_plan(stops, net, &cfg.tsp, cfg.include_base);
+    substitute(&mut plan, net, cfg);
+    plan
+}
+
+/// The Combine and Skip passes over a sensor-level tour order, returning
+/// the surviving stops (unordered). Shared between [`css`] and the staged
+/// pipeline's CSS Cover stage, which supplies a tour solved on the
+/// context's cached distance matrix.
+pub(crate) fn combine_skip(net: &Network, cfg: &PlannerConfig, tour_order: &[usize]) -> Vec<Stop> {
+    let r = cfg.bundle_radius;
+
     // Stage 1 — Combine: greedily merge consecutive tour sensors while
     // they still fit a radius-r disk.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
-    for &s in &tour.order {
+    for &s in tour_order {
         let mut trial = current.clone();
         trial.push(s);
         let pts: Vec<Point> = trial.iter().map(|&i| net.sensor(i).pos).collect();
@@ -102,16 +114,17 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
         .filter_map(|(b, dead)| (!dead).then_some(b))
         .collect();
 
-    // Re-order the surviving stops.
-    let stops: Vec<Stop> = bundles
+    bundles
         .into_iter()
         .map(|b| Stop::for_bundle(b, net, &cfg.charging))
-        .collect();
-    let mut plan = order_into_plan(stops, net, &cfg.tsp, cfg.include_base);
+        .collect()
+}
 
-    // Stage 3 — Substitute: slide each stop inside its slack disk to the
-    // point minimising the detour through its tour neighbours. Tour
-    // length is the only objective (dwell is recomputed but not weighed).
+/// Stage 3 — Substitute: slide each stop inside its slack disk to the
+/// point minimising the detour through its tour neighbours. Tour length
+/// is the only objective (dwell is recomputed but not weighed).
+pub(crate) fn substitute(plan: &mut ChargingPlan, net: &Network, cfg: &PlannerConfig) {
+    let r = cfg.bundle_radius;
     let n = plan.stops.len();
     if n >= 2 {
         for i in 0..n {
@@ -132,7 +145,6 @@ pub fn css(net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
             plan.stops[i] = Stop::for_bundle(bundle, net, &cfg.charging);
         }
     }
-    plan
 }
 
 /// The point inside `disk` minimising `|a - P| + |P - b|`: the segment's

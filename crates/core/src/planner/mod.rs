@@ -29,9 +29,12 @@ pub use bc_opt::{
 pub use css::css;
 pub use sc::single_charging;
 
+pub(crate) use bc::stops_for_bundles;
+pub(crate) use bc_opt::optimize_tour_with_workers;
+pub(crate) use css::{combine_skip as css_combine_skip, substitute as css_substitute};
+
 use bc_geom::Point;
 use bc_tsp::{solve, SolveConfig};
-use bc_units::Joules;
 use bc_wsn::Network;
 
 use crate::{ChargingPlan, PlanError, PlannerConfig, Stop};
@@ -72,10 +75,27 @@ pub(crate) fn order_into_plan(
 
 /// Convenience dispatcher running the planner named by `algo`.
 ///
+/// Deprecated: panics on invalid input. Use [`try_run`] (one-shot) or
+/// [`crate::context::PlanContext::plan`] (artifact reuse across calls)
+/// and handle the [`PlanError`].
+#[deprecated(since = "0.2.0", note = "use try_run or PlanContext::plan instead")]
+pub fn run(algo: Algorithm, net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
+    try_run(algo, net, cfg).unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
+}
+
+/// Fallible planner dispatcher: validates the configuration and the
+/// network's demands before dispatching, so bad input surfaces as a
+/// typed [`PlanError`] instead of a panic or a `NaN`-riddled plan.
+///
+/// Runs the staged pipeline of [`crate::context::PlanContext`] over a
+/// one-shot context; callers planning repeatedly over the same network
+/// should hold a `PlanContext` themselves so the cached artifacts are
+/// reused across calls.
+///
 /// # Example
 ///
 /// ```
-/// use bc_core::planner::{run, Algorithm};
+/// use bc_core::planner::{try_run, Algorithm};
 /// use bc_core::PlannerConfig;
 /// use bc_wsn::deploy;
 /// use bc_geom::Aabb;
@@ -83,17 +103,10 @@ pub(crate) fn order_into_plan(
 /// let net = deploy::uniform(30, Aabb::square(500.0), 2.0, 3);
 /// let cfg = PlannerConfig::paper_sim(30.0);
 /// for algo in Algorithm::ALL {
-///     let plan = run(algo, &net, &cfg);
+///     let plan = try_run(algo, &net, &cfg).unwrap();
 ///     assert!(plan.validate(&net, &cfg.charging).is_ok());
 /// }
 /// ```
-pub fn run(algo: Algorithm, net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
-    try_run(algo, net, cfg).unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
-}
-
-/// Fallible variant of [`run`]: validates the configuration and the
-/// network's demands before dispatching, so bad input surfaces as a
-/// typed [`PlanError`] instead of a panic or a `NaN`-riddled plan.
 ///
 /// # Errors
 ///
@@ -106,20 +119,9 @@ pub fn try_run(
     net: &Network,
     cfg: &PlannerConfig,
 ) -> Result<ChargingPlan, PlanError> {
-    cfg.validate()?;
-    for s in net.sensors() {
-        if !s.demand.is_finite() || s.demand < Joules(0.0) {
-            return Err(PlanError::InvalidDemand { value: s.demand });
-        }
-    }
-    let plan = match algo {
-        Algorithm::Sc => single_charging(net, cfg),
-        Algorithm::Css => css(net, cfg),
-        Algorithm::Bc => bundle_charging(net, cfg),
-        Algorithm::BcOpt => bundle_charging_opt(net, cfg),
-    };
-    crate::contracts::debug_assert_plan(&plan, net, cfg);
-    Ok(plan)
+    crate::context::PlanContext::new(net.clone(), cfg.clone())
+        .plan(algo)
+        .map(crate::context::StagedPlan::into_plan)
 }
 
 /// The four compared algorithms.
@@ -165,6 +167,7 @@ impl std::fmt::Display for Algorithm {
 mod tests {
     use super::*;
     use bc_geom::Aabb;
+    use bc_units::Joules;
     use bc_wsn::deploy;
 
     #[test]
@@ -179,7 +182,7 @@ mod tests {
         let net = deploy::uniform(40, Aabb::square(600.0), 2.0, 11);
         let cfg = PlannerConfig::paper_sim(40.0);
         for algo in Algorithm::ALL {
-            let plan = run(algo, &net, &cfg);
+            let plan = try_run(algo, &net, &cfg).unwrap();
             plan.validate(&net, &cfg.charging)
                 .unwrap_or_else(|e| panic!("{algo}: {e}"));
         }
@@ -223,7 +226,7 @@ mod tests {
         let net = deploy::uniform(0, Aabb::square(10.0), 2.0, 0);
         let cfg = PlannerConfig::paper_sim(5.0);
         for algo in Algorithm::ALL {
-            let plan = run(algo, &net, &cfg);
+            let plan = try_run(algo, &net, &cfg).unwrap();
             assert_eq!(plan.num_charging_stops(), 0);
             assert!(plan.validate(&net, &cfg.charging).is_ok());
         }

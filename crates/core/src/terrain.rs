@@ -113,6 +113,7 @@ impl TerrainRoute {
             } else {
                 dwell / plan.num_sensors as f64 // cast-ok: sensor count to mean divisor
             },
+            stage_timings: None,
         }
     }
 }
@@ -184,7 +185,7 @@ pub fn plan_with_terrain(
     let routed = DistanceMatrix::from_fn(anchors.len(), |i, j| {
         terrain.distance(anchors[i], anchors[j])
     });
-    let euclid = DistanceMatrix::from_points(&anchors);
+    let euclid = DistanceMatrix::from_points(&anchors); // context-ok: stop anchors, not the cached sensor matrix
     let tour_r = solve_matrix(&routed, &cfg.tsp);
     let tour_e = solve_matrix(&euclid, &cfg.tsp);
     let routed_len = |order: &[usize]| -> f64 {

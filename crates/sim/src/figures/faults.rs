@@ -14,7 +14,7 @@
 //! (a base visit resets transient failures) at the highest energy and
 //! latency cost; replan-remaining sits between them.
 
-use bc_core::planner::{run, Algorithm};
+use bc_core::planner::{try_run, Algorithm};
 use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
 use bc_geom::Aabb;
 use bc_wsn::deploy;
@@ -49,7 +49,8 @@ fn round_outcome(seed: u64, rate: f64) -> RoundOutcome {
         SIM_DEMAND_J,
         seed,
     );
-    let plan = run(Algorithm::BcOpt, &net, &cfg);
+    let plan = try_run(Algorithm::BcOpt, &net, &cfg)
+        .unwrap_or_else(|e| panic!("fault-sweep planning failed: {e}"));
     let faults = FaultModel::with_rate(seed, rate);
     let mut out = RoundOutcome {
         extra_energy_j: [0.0; 3],

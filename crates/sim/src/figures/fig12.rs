@@ -10,7 +10,7 @@
 use bc_core::planner::Algorithm;
 use bc_core::PlannerConfig;
 
-use crate::figures::{sweep_point, ExpConfig, DENSE_FIELD_SIDE_M};
+use crate::figures::{sweep_algorithms, ExpConfig, DENSE_FIELD_SIDE_M};
 use crate::Table;
 
 /// Sensor count of the radius sweep.
@@ -27,10 +27,9 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
     let mut avg_time = Table::new("fig12c_avg_charge_time", &headers);
     for r in RADII {
         let cfg = PlannerConfig::paper_sim(r);
-        let per_algo: Vec<_> = Algorithm::ALL
-            .iter()
-            .map(|&a| sweep_point(N_SENSORS, DENSE_FIELD_SIDE_M, a, &cfg, exp))
-            .collect();
+        // One shared context per seeded deployment: the candidate family
+        // is built once and reused by BC and BC-OPT.
+        let per_algo = sweep_algorithms(N_SENSORS, DENSE_FIELD_SIDE_M, &Algorithm::ALL, &cfg, exp);
         energy.push_row(&row(r, &per_algo, |s| s.total_energy_j.mean));
         tour.push_row(&row(r, &per_algo, |s| s.tour_length_m.mean));
         avg_time.push_row(&row(r, &per_algo, |s| s.avg_charge_time_per_sensor_s.mean));

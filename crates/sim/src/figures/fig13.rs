@@ -10,7 +10,7 @@
 use bc_core::planner::Algorithm;
 use bc_core::PlannerConfig;
 
-use crate::figures::{sweep_point, ExpConfig, DENSE_FIELD_SIDE_M};
+use crate::figures::{sweep_algorithms, ExpConfig, DENSE_FIELD_SIDE_M};
 use crate::Table;
 
 /// Fixed bundle radius (m).
@@ -27,10 +27,7 @@ pub fn tables(exp: &ExpConfig) -> Vec<Table> {
     let mut avg_time = Table::new("fig13c_avg_charge_time", &headers);
     let cfg = PlannerConfig::paper_sim(RADIUS_M);
     for n in SENSORS {
-        let per_algo: Vec<_> = Algorithm::ALL
-            .iter()
-            .map(|&a| sweep_point(n, DENSE_FIELD_SIDE_M, a, &cfg, exp))
-            .collect();
+        let per_algo = sweep_algorithms(n, DENSE_FIELD_SIDE_M, &Algorithm::ALL, &cfg, exp);
         energy.push_row(&row(n as f64, &per_algo, |s| s.total_energy_j.mean)); // cast-ok: sensor count to table column
         tour.push_row(&row(n as f64, &per_algo, |s| s.tour_length_m.mean)); // cast-ok: sensor count to table column
         avg_time.push_row(&row(n as f64, &per_algo, |s| { // cast-ok: sensor count to table column

@@ -28,9 +28,10 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig16;
 pub mod fig6;
+pub mod timings;
 
-use bc_core::planner::{run, Algorithm};
-use bc_core::{Metrics, PlannerConfig};
+use bc_core::planner::Algorithm;
+use bc_core::{Metrics, PlanContext, PlannerConfig};
 use bc_geom::Aabb;
 use bc_wsn::deploy;
 
@@ -71,6 +72,37 @@ pub const DENSE_FIELD_SIDE_M: f64 = 300.0;
 /// Per-sensor demand (J) of the simulation environment.
 pub const SIM_DEMAND_J: f64 = bc_wpt::params::SIM_DELTA_J.0;
 
+/// Runs every algorithm in `algos` on `runs` seeded uniform deployments
+/// and averages the metrics per algorithm.
+///
+/// All algorithms of one seed share a single [`PlanContext`], so the
+/// expensive artifacts (candidate family, distance matrix, power table)
+/// are built once per deployment instead of once per algorithm — the
+/// main saving of the staged pipeline for figure sweeps like Fig. 12.
+pub(crate) fn sweep_algorithms(
+    n: usize,
+    side: f64,
+    algos: &[Algorithm],
+    cfg: &PlannerConfig,
+    exp: &ExpConfig,
+) -> Vec<MetricsSummary> {
+    let per_seed: Vec<Vec<Metrics>> = repeat(exp.runs, exp.base_seed, |seed| {
+        let net = deploy::uniform(n, Aabb::square(side), SIM_DEMAND_J, seed);
+        let ctx = PlanContext::new(net, cfg.clone());
+        algos
+            .iter()
+            .map(|&a| {
+                ctx.plan(a)
+                    .unwrap_or_else(|e| panic!("{a}: {e}"))
+                    .metrics(&cfg.energy)
+            })
+            .collect()
+    });
+    (0..algos.len())
+        .map(|ai| average_metrics(&per_seed.iter().map(|ms| ms[ai]).collect::<Vec<_>>()))
+        .collect()
+}
+
 /// Runs `algo` on `runs` seeded uniform deployments and averages the
 /// metrics.
 pub(crate) fn sweep_point(
@@ -80,11 +112,9 @@ pub(crate) fn sweep_point(
     cfg: &PlannerConfig,
     exp: &ExpConfig,
 ) -> MetricsSummary {
-    let all: Vec<Metrics> = repeat(exp.runs, exp.base_seed, |seed| {
-        let net = deploy::uniform(n, Aabb::square(side), SIM_DEMAND_J, seed);
-        run(algo, &net, cfg).metrics(&cfg.energy)
-    });
-    average_metrics(&all)
+    sweep_algorithms(n, side, &[algo], cfg, exp)
+        .pop()
+        .unwrap_or_else(|| unreachable!("one algorithm requested"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! Pipeline stage timings — where each planner spends its wall-time.
+//!
+//! Not a figure of the paper: this table instruments the staged planning
+//! pipeline (`Candidates → Cover → Order → Tighten`) on the Section VI-A
+//! default scenario and reports the mean per-stage wall-time of every
+//! algorithm. It is the data behind the "reading StageTimings" note in
+//! DESIGN.md and feeds the CI bench-smoke artifact.
+//!
+//! Table layout: one row per stage, one column per algorithm. The
+//! `stage` column is an index — 0 = candidates, 1 = cover, 2 = order,
+//! 3 = tighten, 4 = total — because [`Table`] cells are numeric.
+//!
+//! Each algorithm runs on a *fresh* [`PlanContext`] so the Candidates
+//! row charges every algorithm its own artifact builds; sharing a
+//! context (as the figure sweeps do) would bill them all to whichever
+//! algorithm planned first.
+
+use bc_core::context::StageTimings;
+use bc_core::planner::Algorithm;
+use bc_core::{PlanContext, PlannerConfig};
+use bc_geom::Aabb;
+use bc_wsn::deploy;
+
+use crate::figures::{ExpConfig, DENSE_FIELD_SIDE_M, SIM_DEMAND_J};
+use crate::{repeat, Table};
+
+/// Sensor count of the default scenario.
+pub const N_SENSORS: usize = 100;
+
+/// Bundle radius (m) of the default scenario.
+pub const RADIUS_M: f64 = 10.0;
+
+/// Stage-row labels, in row order (row 4 is the total).
+pub const STAGE_ROWS: [&str; 5] = ["candidates", "cover", "order", "tighten", "total"];
+
+/// Generates the stage-timing table.
+pub fn tables(exp: &ExpConfig) -> Vec<Table> {
+    let cfg = PlannerConfig::paper_sim(RADIUS_M);
+    let per_seed: Vec<Vec<StageTimings>> = repeat(exp.runs, exp.base_seed, |seed| {
+        let net = deploy::uniform(N_SENSORS, Aabb::square(DENSE_FIELD_SIDE_M), SIM_DEMAND_J, seed);
+        Algorithm::ALL
+            .iter()
+            .map(|&a| {
+                let ctx = PlanContext::new(net.clone(), cfg.clone());
+                ctx.plan(a)
+                    .unwrap_or_else(|e| panic!("{a}: {e}"))
+                    .timings
+            })
+            .collect()
+    });
+    let mean = |ai: usize, f: &dyn Fn(&StageTimings) -> f64| -> f64 {
+        let sum: f64 = per_seed.iter().map(|ts| f(&ts[ai])).sum();
+        sum / per_seed.len() as f64 // cast-ok: run count to averaging divisor
+    };
+    let mut t = Table::new(
+        "pipeline_stage_timings",
+        &["stage", "SC", "CSS", "BC", "BC-OPT"],
+    );
+    type Col = (&'static str, fn(&StageTimings) -> f64);
+    let cols: [Col; 5] = [
+        ("candidates", |s| s.candidates_s.0),
+        ("cover", |s| s.cover_s.0),
+        ("order", |s| s.order_s.0),
+        ("tighten", |s| s.tighten_s.0),
+        ("total", |s| s.total().0),
+    ];
+    for (stage_idx, (_, f)) in cols.iter().enumerate() {
+        let mut row = vec![stage_idx as f64]; // cast-ok: stage index to table column
+        row.extend((0..Algorithm::ALL.len()).map(|ai| mean(ai, f)));
+        t.push_row(&row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_nonnegative_and_consistent() {
+        let exp = ExpConfig { runs: 2, base_seed: 1000 };
+        let t = &tables(&exp)[0];
+        assert_eq!(t.rows.len(), STAGE_ROWS.len());
+        for col in ["SC", "CSS", "BC", "BC-OPT"] {
+            let v = t.column(col).unwrap();
+            for &x in &v {
+                assert!(x >= 0.0, "{col}: negative stage time {x}");
+            }
+            let total = v[4];
+            let sum: f64 = v[..4].iter().sum();
+            assert!(
+                (total - sum).abs() < 1e-9,
+                "{col}: total {total} != stage sum {sum}"
+            );
+            assert!(total > 0.0, "{col}: zero total wall-time");
+        }
+    }
+
+    #[test]
+    fn only_tighten_algorithms_spend_tighten_time() {
+        let exp = ExpConfig { runs: 1, base_seed: 1000 };
+        let t = &tables(&exp)[0];
+        // Row 3 is the Tighten stage; SC and BC have no tighten stage.
+        assert_eq!(t.column("SC").unwrap()[3], 0.0);
+        assert_eq!(t.column("BC").unwrap()[3], 0.0);
+    }
+}

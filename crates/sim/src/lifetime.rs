@@ -15,7 +15,7 @@
 //! a planner with cheaper tours can afford more frequent rounds and keeps
 //! the network alive with less energy.
 
-use bc_core::planner::{run, Algorithm};
+use bc_core::planner::{try_run, Algorithm};
 use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
 use bc_units::{Joules, Meters, MetersPerSecond, Seconds, Watts};
 use bc_wsn::Network;
@@ -157,7 +157,8 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             .map(|s| bc_wsn::Sensor::new(s.id, s.pos, capacity))
             .collect();
         demand_net = Network::new(sensors, net.field(), net.base());
-        run(cfg.algorithm, &demand_net, &cfg.planner)
+        try_run(cfg.algorithm, &demand_net, &cfg.planner)
+            .unwrap_or_else(|e| panic!("lifetime planning failed: {e}"))
     };
 
     let mut battery = vec![capacity; n];

@@ -184,6 +184,7 @@ mod tests {
             charge_energy_j: Joules(0.0),
             total_energy_j: Joules(e),
             avg_charge_time_per_sensor_s: Seconds(1.0),
+            stage_timings: None,
         };
         let s = average_metrics(&[m(10.0), m(20.0)]);
         assert_eq!(s.total_energy_j.mean, 15.0);

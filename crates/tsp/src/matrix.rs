@@ -78,6 +78,22 @@ impl DistanceMatrix {
         self.data[i * self.n + j]
     }
 
+    /// The restriction of the matrix to `indices`, in the given order.
+    ///
+    /// Entry `(a, b)` of the result equals `self.dist(indices[a],
+    /// indices[b])` exactly (values are copied, not recomputed), so a
+    /// sub-tour solved on the view is bit-identical to one solved on a
+    /// matrix built directly from the corresponding point subset.
+    /// Repeated indices are allowed and produce zero off-diagonal
+    /// distance between their copies' mirrored entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn submatrix(&self, indices: &[usize]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(indices.len(), |a, b| self.dist(indices[a], indices[b]))
+    }
+
     /// The nearest other point to `i` among `candidates`, or `None` when
     /// the iterator yields nothing (entries equal to `i` are skipped).
     pub fn nearest_among<I: IntoIterator<Item = usize>>(
@@ -154,6 +170,37 @@ mod tests {
         assert_eq!(m.nearest_among(0, [2]), Some(2));
         assert_eq!(m.nearest_among(0, [0]), None);
         assert_eq!(m.nearest_among(0, []), None);
+    }
+
+    #[test]
+    fn submatrix_copies_exact_distances() {
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new((i as f64 * 1.37).sin() * 40.0, (i as f64 * 2.11).cos() * 40.0))
+            .collect();
+        let m = DistanceMatrix::from_points(&pts);
+        let pick = [5, 0, 3];
+        let sub = m.submatrix(&pick);
+        let direct =
+            DistanceMatrix::from_points(&[pts[5], pts[0], pts[3]]); // context-ok: exactness oracle
+        assert_eq!(sub, direct);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(sub.dist(a, b), m.dist(pick[a], pick[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_of_empty_selection() {
+        let m = DistanceMatrix::from_points(&[Point::ORIGIN, Point::new(1.0, 0.0)]);
+        assert!(m.submatrix(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn submatrix_rejects_out_of_bounds() {
+        let m = DistanceMatrix::from_points(&[Point::ORIGIN]);
+        let _ = m.submatrix(&[0, 1]);
     }
 
     #[test]

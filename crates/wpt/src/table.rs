@@ -1,0 +1,111 @@
+//! Precomputed per-sensor receive-power artifacts.
+//!
+//! The SC planner and the dwell-time checks evaluate the charging law at
+//! contact distance (`d = 0`) once per sensor. [`ReceivePowerTable`]
+//! hoists those evaluations into a single pass so a shared planning
+//! context can hand the same table to every stage instead of re-deriving
+//! it per planner.
+
+use bc_units::{Joules, Meters, Seconds, Watts};
+
+use crate::friis::ChargingModel;
+
+/// Per-sensor receive-power table for a fixed [`ChargingModel`].
+///
+/// Stores the contact received power (the law evaluated at `d = 0`) and,
+/// for each sensor demand, the contact dwell time `t_i = delta_i / p_r(0)`
+/// (Eq. 1 at zero distance). Entries are computed with exactly the same
+/// calls a planner would make (`received_power` / `charge_time`), so a
+/// plan built from the table is bit-identical to one built directly from
+/// the model.
+///
+/// # Example
+///
+/// ```
+/// use bc_units::{Joules, Meters};
+/// use bc_wpt::{ChargingModel, ReceivePowerTable};
+///
+/// let model = ChargingModel::paper_sim();
+/// let table = ReceivePowerTable::new(&model, &[Joules(2.0), Joules(4.0)]);
+/// assert_eq!(table.len(), 2);
+/// assert_eq!(table.contact_dwell(0), model.charge_time(Meters(0.0), Joules(2.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivePowerTable {
+    contact_power: Watts,
+    contact_dwell: Vec<Seconds>,
+}
+
+impl ReceivePowerTable {
+    /// Builds the table for the given per-sensor demands (index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any demand is negative or not finite (same contract as
+    /// [`ChargingModel::charge_time`]).
+    pub fn new(model: &ChargingModel, demands: &[Joules]) -> Self {
+        let contact = Meters(0.0);
+        ReceivePowerTable {
+            contact_power: model.received_power(contact),
+            contact_dwell: demands
+                .iter()
+                .map(|&d| model.charge_time(contact, d))
+                .collect(),
+        }
+    }
+
+    /// Number of sensors in the table.
+    pub fn len(&self) -> usize {
+        self.contact_dwell.len()
+    }
+
+    /// `true` when the table covers no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.contact_dwell.is_empty()
+    }
+
+    /// Received power at contact distance (`d = 0`).
+    pub fn contact_power(&self) -> Watts {
+        self.contact_power
+    }
+
+    /// Dwell time to satisfy sensor `i`'s demand at contact distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn contact_dwell(&self, i: usize) -> Seconds {
+        self.contact_dwell[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_model_calls() {
+        let model = ChargingModel::paper_sim();
+        let demands = [Joules(2.0), Joules(0.5), Joules(0.0)];
+        let table = ReceivePowerTable::new(&model, &demands);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        assert_eq!(table.contact_power(), model.received_power(Meters(0.0)));
+        for (i, &d) in demands.iter().enumerate() {
+            assert_eq!(table.contact_dwell(i), model.charge_time(Meters(0.0), d));
+        }
+    }
+
+    #[test]
+    fn empty_demands_give_empty_table() {
+        let table = ReceivePowerTable::new(&ChargingModel::paper_sim(), &[]);
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be non-negative")]
+    fn negative_demand_panics() {
+        let _ = ReceivePowerTable::new(&ChargingModel::paper_sim(), &[Joules(-1.0)]);
+    }
+}

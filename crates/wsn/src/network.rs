@@ -115,6 +115,23 @@ impl Network {
         }
     }
 
+    /// Like [`Network::within_radius`] but reuses a caller scratch
+    /// buffer (cleared first), avoiding one allocation per query in the
+    /// candidate-generation hot loop.
+    pub fn within_radius_into(&self, center: Point, radius: f64, out: &mut Vec<usize>) {
+        match &self.index {
+            Some(idx) => idx.within_radius_into(&self.positions, center, radius, out),
+            None => out.clear(),
+        }
+    }
+
+    /// The spatial index over the sensor positions, when the network is
+    /// non-empty. Exposed so a shared planning context can issue radius
+    /// queries against the same structure the network uses internally.
+    pub fn index(&self) -> Option<&GridIndex> {
+        self.index.as_ref()
+    }
+
     /// Average number of neighbours within `radius`, a density measure
     /// used when reporting experiment configurations.
     pub fn mean_neighbors(&self, radius: f64) -> f64 {
@@ -181,6 +198,19 @@ mod tests {
         assert!(n.is_empty());
         assert!(n.within_radius(Point::ORIGIN, 100.0).is_empty());
         assert_eq!(n.mean_neighbors(10.0), 0.0);
+        assert!(n.index().is_none());
+        let mut buf = vec![3];
+        n.within_radius_into(Point::ORIGIN, 100.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn within_radius_into_matches_allocating_query() {
+        let n = net3();
+        assert!(n.index().is_some());
+        let mut buf = Vec::new();
+        n.within_radius_into(Point::new(10.0, 10.0), 15.0, &mut buf);
+        assert_eq!(buf, n.within_radius(Point::new(10.0, 10.0), 15.0));
     }
 
     #[test]

@@ -74,18 +74,36 @@ impl GridIndex {
     ///
     /// `points` must be the same slice the index was built over.
     pub fn within_radius(&self, points: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.within_radius_into(points, center, radius, &mut out);
+        out
+    }
+
+    /// Like [`GridIndex::within_radius`] but appends hits to a caller
+    /// scratch buffer after clearing it, so hot loops (one query per
+    /// sensor in candidate generation) can reuse one allocation.
+    ///
+    /// The result order is identical to `within_radius`: cells are
+    /// scanned in grid order and points in bucket (insertion) order.
+    pub fn within_radius_into(
+        &self,
+        points: &[Point],
+        center: Point,
+        radius: f64,
+        out: &mut Vec<usize>,
+    ) {
         assert!(
             radius.is_finite() && radius >= 0.0,
             "radius must be non-negative"
         );
+        out.clear();
         let Some(((ox0, oy0), (ox1, oy1))) = self.occupied else {
-            return Vec::new();
+            return;
         };
         let r2 = radius * radius;
         #[allow(clippy::cast_possible_truncation)] // radius/cell validated finite and small
         let span = (radius / self.cell).ceil() as i64; // cast-ok: cell span is small and non-negative
         let (cx, cy) = Self::key(center, self.cell);
-        let mut out = Vec::new();
         for gx in (cx - span).max(ox0)..=(cx + span).min(ox1) {
             for gy in (cy - span).max(oy0)..=(cy + span).min(oy1) {
                 if let Some(bucket) = self.cells.get(&(gx, gy)) {
@@ -97,7 +115,11 @@ impl GridIndex {
                 }
             }
         }
-        out
+    }
+
+    /// The cell size the index was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
     }
 
     /// Number of occupied grid cells.
@@ -180,5 +202,22 @@ mod tests {
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_panics() {
         let _ = GridIndex::build(&[], 0.0);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let pts = scattered(100);
+        let idx = GridIndex::build(&pts, 50.0);
+        let mut buf = vec![999]; // stale contents must be cleared
+        for &q in pts.iter().step_by(13) {
+            idx.within_radius_into(&pts, q, 60.0, &mut buf);
+            assert_eq!(buf, idx.within_radius(&pts, q, 60.0));
+        }
+    }
+
+    #[test]
+    fn cell_size_round_trips() {
+        let idx = GridIndex::build(&[Point::ORIGIN], 7.5);
+        assert_eq!(idx.cell_size(), 7.5);
     }
 }

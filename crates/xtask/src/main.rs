@@ -21,6 +21,12 @@
 //!    `unwrap_used`, `expect_used`, `cast_possible_truncation` and
 //!    `cast_sign_loss`, and every library crate must opt in with
 //!    `[lints] workspace = true`.
+//! 5. **Context bypass** — `CandidateFamily::pair_intersection*` /
+//!    `DistanceMatrix::from_points(` outside `bc-core::context` and the
+//!    crates that define them. Planner-layer code must obtain those
+//!    artifacts from a shared `PlanContext` so a figure sweep builds
+//!    them once; a deliberate direct build carries `// context-ok:
+//!    <reason>`.
 //!
 //! Scope: `src/` trees of the root facade and every `crates/*` member
 //! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
@@ -93,6 +99,7 @@ enum Rule {
     PanickingExtractor,
     RawQuantityField,
     LintTableDrift,
+    ContextBypass,
 }
 
 impl fmt::Display for Violation {
@@ -111,6 +118,10 @@ impl fmt::Display for Violation {
                 "use a bc-units newtype (Joules, Seconds, Meters, ...)",
             ),
             Rule::LintTableDrift => ("lint-table-drift", "restore the workspace lint config"),
+            Rule::ContextBypass => (
+                "context-bypass",
+                "build this artifact through PlanContext, or add `// context-ok: <reason>`",
+            ),
         };
         write!(
             f,
@@ -126,6 +137,23 @@ impl fmt::Display for Violation {
 const CAST_PATTERNS: [&str; 6] = [
     " as f64", " as usize", " as u64", " as u32", " as i64", " as i32",
 ];
+
+/// Artifact constructions that must go through `bc_core::context` in
+/// planner-layer code. The first pattern has no closing paren so the
+/// `_par` variant matches too.
+const CONTEXT_BYPASS_PATTERNS: [&str; 2] = [
+    "CandidateFamily::pair_intersection",
+    "DistanceMatrix::from_points(",
+];
+
+/// Files allowed to construct the shared artifacts directly: the
+/// context module that owns the cache, and the crates defining the
+/// constructors (their internals and unit tests are the implementation).
+fn context_bypass_exempt(label: &str) -> bool {
+    label.contains("crates/tsp/")
+        || label.ends_with("crates/core/src/context.rs")
+        || label.ends_with("crates/core/src/candidates.rs")
+}
 
 /// Suffixes that mark a field as a physical quantity (matching the
 /// `bc-units` catalog: Joules, Seconds, Meters, Meters2, Watts,
@@ -166,6 +194,18 @@ fn scan_source(label: &str, text: &str) -> Vec<Violation> {
                 file: label.to_string(),
                 line: lineno,
                 rule: Rule::PanickingExtractor,
+                excerpt: line.to_string(),
+            });
+        }
+
+        if !context_bypass_exempt(label)
+            && !line.contains("context-ok:")
+            && CONTEXT_BYPASS_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: lineno,
+                rule: Rule::ContextBypass,
                 excerpt: line.to_string(),
             });
         }
@@ -415,6 +455,28 @@ mod tests {
     fn typed_quantity_field_passes() {
         let src = "pub struct S {\n    pub total_energy_j: Joules,\n    pub efficiency: f64,\n}\n";
         assert!(scan_source("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn context_bypass_flagged_outside_context_module() {
+        let src = "fn f(net: &Network) {\n    let fam = CandidateFamily::pair_intersection(net, 10.0);\n    let m = DistanceMatrix::from_points(net.positions());\n}\n";
+        let v = scan_source("crates/core/src/planner/bc.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::ContextBypass));
+        // The parallel variant is caught by the paren-less pattern.
+        let par = "fn f() { CandidateFamily::pair_intersection_par(net, 1.0, 4); }\n";
+        assert_eq!(scan_source("crates/sim/src/x.rs", par).len(), 1);
+    }
+
+    #[test]
+    fn context_bypass_exemptions_pass() {
+        let src = "fn f() { let m = DistanceMatrix::from_points(&pts); }\n";
+        assert!(scan_source("crates/tsp/src/lib.rs", src).is_empty());
+        assert!(scan_source("crates/core/src/context.rs", src).is_empty());
+        assert!(scan_source("crates/core/src/candidates.rs", src).is_empty());
+        let marked =
+            "fn f() { let m = DistanceMatrix::from_points(&pts); // context-ok: no net here\n}\n";
+        assert!(scan_source("crates/core/src/terrain.rs", marked).is_empty());
     }
 
     #[test]

@@ -20,7 +20,8 @@ fn main() {
 
     // Compare the naive per-sensor tour with bundle charging.
     for algo in Algorithm::ALL {
-        let plan = planner::run(algo, &net, &cfg);
+        let plan = planner::try_run(algo, &net, &cfg)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
         plan.validate(&net, &cfg.charging)
             .expect("planner produced an infeasible plan");
         let m = plan.metrics(&cfg.energy);

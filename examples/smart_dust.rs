@@ -54,7 +54,8 @@ fn main() {
     // Full planners on the dust field.
     let cfg = PlannerConfig::paper_sim(r);
     for algo in Algorithm::ALL {
-        let plan = planner::run(algo, &net, &cfg);
+        let plan = planner::try_run(algo, &net, &cfg)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
         plan.validate(&net, &cfg.charging).expect("feasible plan");
         let m = plan.metrics(&cfg.energy);
         println!(

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 
 use bundle_charging::core::contracts;
-use bundle_charging::core::planner::{run, try_run, Algorithm};
+use bundle_charging::core::planner::{try_run, Algorithm};
 use bundle_charging::core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
 use bundle_charging::geom::Aabb;
 use bundle_charging::wsn::deploy;
@@ -48,8 +48,8 @@ proptest! {
     ) {
         let net = deploy::uniform(n, Aabb::square(500.0), 2.0, seed);
         let cfg = PlannerConfig::paper_sim(radius);
-        let bc = run(Algorithm::Bc, &net, &cfg);
-        let opt = run(Algorithm::BcOpt, &net, &cfg);
+        let bc = try_run(Algorithm::Bc, &net, &cfg).unwrap();
+        let opt = try_run(Algorithm::BcOpt, &net, &cfg).unwrap();
         prop_assert!(contracts::check_no_regression(
             bc.metrics(&cfg.energy).total_energy_j,
             opt.metrics(&cfg.energy).total_energy_j,
@@ -69,7 +69,7 @@ proptest! {
     ) {
         let net = deploy::uniform(20, Aabb::square(300.0), 2.0, net_seed);
         let cfg = PlannerConfig::paper_sim(30.0);
-        let plan = run(Algorithm::BcOpt, &net, &cfg);
+        let plan = try_run(Algorithm::BcOpt, &net, &cfg).unwrap();
         let faults = FaultModel::with_rate(seed, rate);
         let policy = RecoveryPolicy::ALL[policy_idx % RecoveryPolicy::ALL.len()];
         let rep = Executor::new(&net, &cfg)

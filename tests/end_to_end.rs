@@ -18,7 +18,7 @@ fn all_algorithms_feasible_on_varied_deployments() {
         for r in [10.0, 40.0] {
             let cfg = PlannerConfig::paper_sim(r);
             for algo in Algorithm::ALL {
-                let plan = planner::run(algo, net, &cfg);
+                let plan = planner::try_run(algo, net, &cfg).unwrap();
                 plan.validate(net, &cfg.charging)
                     .unwrap_or_else(|e| panic!("net {ni}, r {r}, {algo}: {e}"));
                 let m = plan.metrics(&cfg.energy);
@@ -41,7 +41,7 @@ fn energy_ordering_at_dense_point() {
         let net = deploy::uniform(150, Aabb::square(300.0), 2.0, seed);
         let cfg = PlannerConfig::paper_sim(30.0);
         let e = |a| {
-            planner::run(a, &net, &cfg)
+            planner::try_run(a, &net, &cfg).unwrap()
                 .metrics(&cfg.energy)
                 .total_energy_j
         };

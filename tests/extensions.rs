@@ -80,7 +80,7 @@ fn planners_under_table_law() {
     );
     let net = deploy::uniform(35, Aabb::square(250.0), 2.0, 12);
     for algo in Algorithm::ALL {
-        let plan = planner::run(algo, &net, &cfg);
+        let plan = planner::try_run(algo, &net, &cfg).unwrap();
         plan.validate(&net, &cfg.charging)
             .unwrap_or_else(|e| panic!("{algo} under table law: {e}"));
     }

@@ -6,7 +6,8 @@ use bundle_charging::testbed::TestbedRig;
 
 fn assert_all_feasible(net: &Network, cfg: &PlannerConfig) {
     for algo in Algorithm::ALL {
-        let plan = planner::run(algo, net, cfg);
+        let plan = planner::try_run(algo, net, cfg)
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
         plan.validate(net, &cfg.charging)
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
     }
@@ -183,7 +184,7 @@ fn clean_execution_matches_plan_metrics() {
     let net = deploy::uniform(25, Aabb::square(150.0), 2.0, 21);
     let cfg = PlannerConfig::paper_sim(20.0);
     for algo in Algorithm::ALL {
-        let plan = planner::run(algo, &net, &cfg);
+        let plan = planner::try_run(algo, &net, &cfg).unwrap();
         let m = plan.metrics(&cfg.energy);
         let rep = Executor::new(&net, &cfg)
             .execute(&plan, &FaultModel::none(), 0)

@@ -104,7 +104,7 @@ proptest! {
         let net = deploy::uniform(n, Aabb::square(200.0), 2.0, seed);
         let cfg = PlannerConfig::paper_sim(r);
         for algo in Algorithm::ALL {
-            let plan = planner::run(algo, &net, &cfg);
+            let plan = planner::try_run(algo, &net, &cfg).unwrap();
             prop_assert!(plan.validate(&net, &cfg.charging).is_ok(),
                 "{algo} infeasible at n={n} r={r} seed={seed}");
         }

@@ -1,0 +1,104 @@
+//! Property tests of incremental replanning through a shared
+//! [`ContextCache`]: after arbitrary sensor removals and additions, the
+//! cache's revision path must produce plans that satisfy the same
+//! contract catalog as a fresh plan on the mutated network — full cover,
+//! bundle radii within `r`, Eq. 1 dwell times — and the revision counter
+//! must track every mutation.
+
+use proptest::prelude::*;
+
+use bundle_charging::core::context::ContextCache;
+use bundle_charging::core::planner::Algorithm;
+use bundle_charging::core::{contracts, ChargingPlan, PlannerConfig};
+use bundle_charging::geom::{Aabb, Point};
+use bundle_charging::wsn::{deploy, Network};
+
+fn assert_contracts(plan: &ChargingPlan, net: &Network, cfg: &PlannerConfig, what: &str) {
+    contracts::check_cover(plan, net).unwrap_or_else(|v| panic!("{what}: {v}"));
+    contracts::check_bundle_radii(plan, net, cfg.bundle_radius)
+        .unwrap_or_else(|v| panic!("{what}: {v}"));
+    contracts::check_dwell_times(plan, net, cfg).unwrap_or_else(|v| panic!("{what}: {v}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Removing a random sensor via the cache keeps the incremental plan
+    /// inside the contract catalog, bumps the revision, and leaves the
+    /// cache able to produce a fresh contract-clean plan for the new
+    /// network revision.
+    #[test]
+    fn remove_sensor_replan_stays_contract_clean(
+        seed in 0u64..500,
+        n in 6usize..30,
+        radius in 8.0f64..40.0,
+        victim_pick in 0usize..1_000_000,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(300.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(radius);
+        let mut cache = ContextCache::new(net, cfg.clone());
+        let plan = cache.plan(Algorithm::Bc).expect("initial plan").plan;
+        assert_contracts(&plan, cache.network(), &cfg, "initial plan");
+
+        let victim = victim_pick % n;
+        let incremental = cache.remove_sensor(&plan, victim).expect("replan");
+        prop_assert_eq!(cache.revision(), 1);
+        prop_assert_eq!(cache.network().len(), n - 1);
+        assert_contracts(&incremental, cache.network(), &cfg, "incremental replan");
+
+        // A fresh plan on the mutated revision goes through the same
+        // shared cache and must be contract-clean too.
+        let fresh = cache.plan(Algorithm::Bc).expect("fresh plan on revision 1").plan;
+        assert_contracts(&fresh, cache.network(), &cfg, "fresh plan after removal");
+    }
+
+    /// Adding a random sensor via the cache: the incremental plan covers
+    /// the newcomer and every veteran within the contract catalog, and
+    /// the revision advances once per mutation.
+    #[test]
+    fn add_sensor_replan_stays_contract_clean(
+        seed in 0u64..500,
+        n in 5usize..25,
+        radius in 8.0f64..40.0,
+        x in 0.0f64..300.0,
+        y in 0.0f64..300.0,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(300.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(radius);
+        let mut cache = ContextCache::new(net, cfg.clone());
+        let plan = cache.plan(Algorithm::Bc).expect("initial plan").plan;
+
+        let incremental = cache
+            .add_sensor(&plan, Point { x, y }, 2.0)
+            .expect("replan after addition");
+        prop_assert_eq!(cache.revision(), 1);
+        prop_assert_eq!(cache.network().len(), n + 1);
+        assert_contracts(&incremental, cache.network(), &cfg, "incremental add");
+
+        let fresh = cache.plan(Algorithm::Bc).expect("fresh plan on revision 1").plan;
+        assert_contracts(&fresh, cache.network(), &cfg, "fresh plan after addition");
+    }
+
+    /// A remove-then-add sequence advances the revision monotonically
+    /// and every intermediate plan stays contract-clean.
+    #[test]
+    fn mutation_sequence_advances_revisions(
+        seed in 0u64..200,
+        n in 8usize..20,
+        radius in 10.0f64..30.0,
+    ) {
+        let net = deploy::uniform(n, Aabb::square(300.0), 2.0, seed);
+        let cfg = PlannerConfig::paper_sim(radius);
+        let mut cache = ContextCache::new(net, cfg.clone());
+        let plan = cache.plan(Algorithm::Bc).expect("initial plan").plan;
+
+        let after_remove = cache.remove_sensor(&plan, 0).expect("remove");
+        assert_contracts(&after_remove, cache.network(), &cfg, "after remove");
+        let after_add = cache
+            .add_sensor(&after_remove, Point { x: 150.0, y: 150.0 }, 2.0)
+            .expect("add");
+        assert_contracts(&after_add, cache.network(), &cfg, "after add");
+        prop_assert_eq!(cache.revision(), 2);
+        prop_assert_eq!(cache.network().len(), n);
+    }
+}
