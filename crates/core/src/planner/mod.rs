@@ -73,16 +73,6 @@ pub(crate) fn order_into_plan(
     ChargingPlan::new(ordered, net.len())
 }
 
-/// Convenience dispatcher running the planner named by `algo`.
-///
-/// Deprecated: panics on invalid input. Use [`try_run`] (one-shot) or
-/// [`crate::context::PlanContext::plan`] (artifact reuse across calls)
-/// and handle the [`PlanError`].
-#[deprecated(since = "0.2.0", note = "use try_run or PlanContext::plan instead")]
-pub fn run(algo: Algorithm, net: &Network, cfg: &PlannerConfig) -> ChargingPlan {
-    try_run(algo, net, cfg).unwrap_or_else(|e| panic!("{}: {e}", algo.name()))
-}
-
 /// Fallible planner dispatcher: validates the configuration and the
 /// network's demands before dispatching, so bad input surfaces as a
 /// typed [`PlanError`] instead of a panic or a `NaN`-riddled plan.

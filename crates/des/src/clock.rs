@@ -1,0 +1,186 @@
+//! Logical simulation clock.
+//!
+//! This module is the **only** place in `bc-des` that is allowed to touch the
+//! raw `f64` inside [`Seconds`] (enforced by `cargo xtask lint`, rule
+//! `raw-time`). Every other module manipulates time exclusively through
+//! [`Time`] / [`Clock`] and the dimensionally-typed operators of `bc-units`,
+//! so a simulation timestamp can never be accidentally mixed with a distance
+//! or an energy expressed as a bare float.
+//!
+//! [`Time`] is an absolute instant on the simulation timeline (seconds since
+//! scenario start) with a **total order**: comparisons go through
+//! [`f64::total_cmp`], which makes it usable as a `BinaryHeap` key even
+//! though the underlying representation is a float. Scenario validation
+//! rejects non-finite horizons, so NaN never enters the queue in practice;
+//! the total order is belt-and-braces determinism.
+
+use bc_units::Seconds;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An absolute instant on the simulation timeline.
+///
+/// Internally this is "seconds since scenario start". `Time` is totally
+/// ordered (via `total_cmp`), `Copy`, and deliberately does *not* expose its
+/// inner float: arithmetic happens through [`Time::advance`] /
+/// [`Time::since`], which keep the units straight.
+#[derive(Debug, Clone, Copy)]
+pub struct Time(Seconds);
+
+impl Time {
+    /// Scenario start (t = 0 s).
+    pub const ZERO: Time = Time(Seconds::ZERO);
+
+    /// The instant `elapsed` after scenario start.
+    #[must_use]
+    pub fn at(elapsed: Seconds) -> Self {
+        Time(elapsed)
+    }
+
+    /// Elapsed simulation time since scenario start.
+    #[must_use]
+    pub fn seconds(self) -> Seconds {
+        self.0
+    }
+
+    /// The instant `dt` after `self`.
+    #[must_use]
+    pub fn advance(self, dt: Seconds) -> Self {
+        Time(self.0 + dt)
+    }
+
+    /// Duration from `earlier` to `self` (negative if `earlier` is later).
+    #[must_use]
+    pub fn since(self, earlier: Time) -> Seconds {
+        self.0 - earlier.0
+    }
+
+    /// True when the instant is a finite timestamp.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl PartialEq for Time {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.get().total_cmp(&other.0.get())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+/// Monotone logical clock owned by the engine.
+///
+/// The clock only moves forward: [`Clock::advance_to`] debug-asserts
+/// monotonicity, which catches event-ordering bugs at the source instead of
+/// as mysteriously negative durations downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    now: Time,
+}
+
+impl Clock {
+    /// A clock at scenario start.
+    #[must_use]
+    pub fn new() -> Self {
+        Clock { now: Time::ZERO }
+    }
+
+    /// Current simulation instant.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Advance to `t`. Time never flows backwards; a regression is a bug in
+    /// the event queue, so it is debug-asserted rather than silently clamped.
+    pub fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "clock regression: {} -> {}", self.now, t);
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sanctioned construction of a duration from a raw second count.
+///
+/// Modules outside `clock` are linted against calling `Seconds(..)` directly;
+/// they build durations through these helpers (or receive them already typed
+/// from `bc-units` arithmetic).
+#[must_use]
+pub fn seconds(s: f64) -> Seconds {
+    Seconds(s)
+}
+
+/// `m` minutes as a typed duration.
+#[must_use]
+pub fn minutes(m: f64) -> Seconds {
+    Seconds(m * 60.0)
+}
+
+/// `h` hours as a typed duration.
+#[must_use]
+pub fn hours(h: f64) -> Seconds {
+    Seconds(h * 3600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_orders_totally() {
+        let a = Time::at(seconds(1.0));
+        let b = Time::at(seconds(2.0));
+        assert!(a < b);
+        assert_eq!(a, Time::at(seconds(1.0)));
+        assert!(Time::ZERO < a);
+    }
+
+    #[test]
+    fn advance_and_since_round_trip() {
+        let a = Time::at(seconds(10.0));
+        let b = a.advance(seconds(5.0));
+        assert_eq!(b.since(a), seconds(5.0));
+        assert_eq!(b.seconds(), seconds(15.0));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = Clock::new();
+        c.advance_to(Time::at(seconds(3.0)));
+        c.advance_to(Time::at(seconds(3.0)));
+        assert_eq!(c.now(), Time::at(seconds(3.0)));
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(minutes(2.0), seconds(120.0));
+        assert_eq!(hours(1.0), seconds(3600.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Multi-charger fleet: dispatch policies and per-charger ledgers.
+//!
+//! Stop assignment is a pure function of `(policy, anchors, fleet size,
+//! base)`: no RNG, no map iteration, ties broken by lowest charger index.
+//! That keeps fleet scheduling bit-reproducible, which the determinism
+//! proptests pin down.
+
+use bc_geom::Point;
+use bc_units::{Joules, Meters, Seconds};
+
+/// How charging stops of a planned tour are divided among the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Greedy: walk the tour in order, give each stop to the charger whose
+    /// current position (base, or its last assigned stop) is nearest.
+    /// Distance ties resolve to the lowest charger index.
+    NearestIdle,
+    /// Stop `i` goes to charger `i mod fleet_size`.
+    RoundRobin,
+    /// Contiguous tour arcs: the tour is cut into `fleet_size` balanced
+    /// runs, preserving the planner's visiting order inside each run.
+    BundlePartition,
+}
+
+impl DispatchPolicy {
+    /// Stable label for telemetry.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::NearestIdle => "nearest-idle",
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::BundlePartition => "bundle-partition",
+        }
+    }
+}
+
+/// Assign tour stops (given by their anchor points, in tour order) to
+/// `fleet_size` chargers starting from `base`. Returns one stop-index list
+/// per charger, each in tour order. Deterministic: ties go to the lowest
+/// charger index.
+#[must_use]
+pub fn assign_stops(
+    policy: DispatchPolicy,
+    anchors: &[Point],
+    fleet_size: usize,
+    base: Point,
+) -> Vec<Vec<usize>> {
+    let k = fleet_size.max(1);
+    let mut out = vec![Vec::new(); k];
+    if anchors.is_empty() {
+        return out;
+    }
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            for (i, _) in anchors.iter().enumerate() {
+                out[i % k].push(i);
+            }
+        }
+        DispatchPolicy::BundlePartition => {
+            let m = anchors.len();
+            for (c, stops) in out.iter_mut().enumerate() {
+                let lo = c * m / k;
+                let hi = (c + 1) * m / k;
+                stops.extend(lo..hi);
+            }
+        }
+        DispatchPolicy::NearestIdle => {
+            let mut pos = vec![base; k];
+            for (i, &anchor) in anchors.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = pos[0].distance(anchor);
+                for (c, p) in pos.iter().enumerate().skip(1) {
+                    let d = p.distance(anchor);
+                    // Strict `<` keeps ties on the lowest charger index.
+                    if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
+                        best = c;
+                        best_d = d;
+                    }
+                }
+                out[best].push(i);
+                pos[best] = anchor;
+            }
+        }
+    }
+    out
+}
+
+/// Per-charger account of one simulation run, in the spirit of
+/// `bc-core::execute::ExecutionReport` but accumulated across rounds.
+///
+/// The engine contract-checks that the fleet's ledger totals sum to the
+/// run-level `charger_energy_j` (see `DesReport::check_fleet_ledger`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargerLedger {
+    /// Fleet index of this charger.
+    pub charger: usize,
+    /// Total distance driven.
+    pub distance_m: Meters,
+    /// Time spent driving (including fault-stall stretches).
+    pub drive_s: Seconds,
+    /// Time spent in retry backoff at stops.
+    pub backoff_s: Seconds,
+    /// Time spent dwelling (radiating) at stops.
+    pub dwell_s: Seconds,
+    /// Total time away from base (dispatch to return), summed over rounds.
+    pub busy_s: Seconds,
+    /// Locomotion energy drawn from the charger's tank.
+    pub move_energy_j: Joules,
+    /// Radiated charging energy drawn from the charger's tank.
+    pub charge_energy_j: Joules,
+    /// Charging stops completed (dwell finished).
+    pub stops_served: usize,
+    /// Sensor recharges delivered (sensor-stop pairs, full dwells only).
+    pub sensors_charged: usize,
+}
+
+impl ChargerLedger {
+    /// A zeroed ledger for charger `charger`.
+    #[must_use]
+    pub fn new(charger: usize) -> Self {
+        ChargerLedger {
+            charger,
+            distance_m: Meters(0.0),
+            drive_s: Seconds::ZERO,
+            backoff_s: Seconds::ZERO,
+            dwell_s: Seconds::ZERO,
+            busy_s: Seconds::ZERO,
+            move_energy_j: Joules(0.0),
+            charge_energy_j: Joules(0.0),
+            stops_served: 0,
+            sensors_charged: 0,
+        }
+    }
+
+    /// Total energy drawn from this charger's tank.
+    #[must_use]
+    pub fn total_energy_j(&self) -> Joules {
+        self.move_energy_j + self.charge_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anchors(points: &[(f64, f64)]) -> Vec<Point> {
+        points.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let a = anchors(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let got = assign_stops(DispatchPolicy::RoundRobin, &a, 3, Point::new(0.0, 0.0));
+        assert_eq!(got, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn bundle_partition_is_contiguous_and_balanced() {
+        let a = anchors(&[(0.0, 0.0); 7]);
+        let got = assign_stops(DispatchPolicy::BundlePartition, &a, 3, Point::new(0.0, 0.0));
+        assert_eq!(got, vec![vec![0, 1], vec![2, 3], vec![4, 5, 6]]);
+        let total: usize = got.iter().map(Vec::len).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn nearest_idle_breaks_ties_to_lowest_index() {
+        // Both chargers start at base: equidistant from every stop, so the
+        // first stop must go to charger 0 and pull it away from base.
+        let a = anchors(&[(1.0, 0.0), (1.0, 0.1)]);
+        let got = assign_stops(DispatchPolicy::NearestIdle, &a, 2, Point::new(0.0, 0.0));
+        assert_eq!(got[0], vec![0, 1]);
+        assert!(got[1].is_empty());
+    }
+
+    #[test]
+    fn nearest_idle_spreads_distant_stops() {
+        let a = anchors(&[(10.0, 0.0), (-10.0, 0.0)]);
+        let got = assign_stops(DispatchPolicy::NearestIdle, &a, 2, Point::new(0.0, 0.0));
+        // Stop 0 goes to charger 0 (tie at base), dragging it to x=10; stop 1
+        // is then closer to charger 1 still sitting at base.
+        assert_eq!(got, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn empty_tour_yields_empty_assignments() {
+        let got = assign_stops(DispatchPolicy::NearestIdle, &[], 2, Point::new(0.0, 0.0));
+        assert_eq!(got, vec![Vec::<usize>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn ledger_totals() {
+        let mut l = ChargerLedger::new(1);
+        l.move_energy_j = Joules(2.0);
+        l.charge_energy_j = Joules(3.0);
+        assert_eq!(l.total_energy_j(), Joules(5.0));
+    }
+}

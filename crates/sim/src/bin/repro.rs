@@ -1,11 +1,14 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|des|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
-//! output directory (default `results/`).
+//! output directory (default `results/`). The `des` subcommand is a
+//! discrete-event-engine smoke benchmark: it runs a 3-charger fleet
+//! scenario on `bc-des` and writes `BENCH_des.json` (events/sec, replan
+//! count, fleet utilization) for the CI `des-smoke` artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +23,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
+                "usage: repro <check|des|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -76,6 +79,10 @@ fn run(args: &[String]) -> Result<(), String> {
         };
     }
 
+    if which == "des" {
+        return des_smoke(&exp, &out);
+    }
+
     type Job = (&'static str, fn(&ExpConfig) -> Vec<Table>);
     let jobs: Vec<Job> = vec![
         ("fig6", figures::fig6::tables),
@@ -126,6 +133,86 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing report: {e}"))?;
         eprintln!("   wrote {}", path.display());
     }
+    Ok(())
+}
+
+/// The `des` subcommand: run a 3-charger fleet scenario on the
+/// discrete-event engine and emit `BENCH_des.json` into `out`.
+fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
+    use bc_core::planner::Algorithm;
+    use bc_des::{DispatchPolicy, Scenario};
+    use bc_geom::Aabb;
+    use bc_wsn::deploy;
+
+    const N: usize = 60;
+    const FLEET: usize = 3;
+    let seed = exp.base_seed;
+    eprintln!(">> des smoke: {N} sensors, {FLEET} chargers (bundle-partition), seed {seed}");
+
+    let net = deploy::uniform(N, Aabb::square(300.0), 2.0, seed);
+    let scenario = Scenario::paper_sim(net, 25.0, Algorithm::BcOpt)
+        .with_fleet(FLEET, DispatchPolicy::BundlePartition);
+
+    let started = std::time::Instant::now();
+    let report = bc_des::run(&scenario).map_err(|e| format!("des run: {e:?}"))?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+    report
+        .check_fleet_ledger()
+        .map_err(|e| format!("fleet ledger imbalance: {e:?}"))?;
+
+    let events_per_sec = report.events_processed as f64 / elapsed_s.max(1e-12); // cast-ok: event count into a rate
+    eprintln!(
+        "   {} events in {elapsed_s:.3} s ({events_per_sec:.0} events/s), \
+         {} rounds, {} replans, fleet {:.1}% utilized",
+        report.events_processed,
+        report.rounds,
+        report.replans,
+        100.0 * report.fleet_utilization
+    );
+
+    let ledgers: Vec<String> = report
+        .fleet
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"charger\": {}, \"distance_m\": {:.3}, \"busy_s\": {:.3}, \
+                 \"move_energy_j\": {:.3}, \"charge_energy_j\": {:.3}, \
+                 \"stops_served\": {}, \"sensors_charged\": {}}}",
+                l.charger,
+                l.distance_m.get(),
+                l.busy_s.get(),
+                l.move_energy_j.get(),
+                l.charge_energy_j.get(),
+                l.stops_served,
+                l.sensors_charged
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"des_smoke\",\n  \"n\": {N},\n  \"seed\": {seed},\n  \
+         \"fleet\": {FLEET},\n  \"dispatch\": \"{dispatch}\",\n  \
+         \"horizon_s\": {horizon:.1},\n  \"elapsed_s\": {elapsed_s:.6},\n  \
+         \"events_processed\": {events},\n  \"events_scheduled\": {scheduled},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n  \"rounds\": {rounds},\n  \
+         \"replans\": {replans},\n  \"base_returns\": {base_returns},\n  \
+         \"charger_energy_j\": {energy:.3},\n  \"fleet_utilization\": {util:.6},\n  \
+         \"sensors_ever_dead\": {dead},\n  \"fleet_ledgers\": [\n{ledgers}\n  ]\n}}\n",
+        dispatch = scenario.fleet.dispatch.label(),
+        horizon = scenario.horizon_s.get(),
+        events = report.events_processed,
+        scheduled = report.events_scheduled,
+        rounds = report.rounds,
+        replans = report.replans,
+        base_returns = report.base_returns,
+        energy = report.charger_energy_j.get(),
+        util = report.fleet_utilization,
+        dead = report.sensors_ever_dead,
+        ledgers = ledgers.join(",\n"),
+    );
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let path = out.join("BENCH_des.json");
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("   wrote {}", path.display());
     Ok(())
 }
 

@@ -14,9 +14,16 @@
 //! It is the system-level experiment the per-tour figures cannot show:
 //! a planner with cheaper tours can afford more frequent rounds and keeps
 //! the network alive with less energy.
+//!
+//! Since the `bc-des` migration, [`simulate`] runs on the discrete-event
+//! engine ([`bc_des::run`]) behind the same API and panics. The original
+//! fixed-interval integrator survives as [`simulate_reference`]: it is the
+//! oracle for the DES equivalence suite (sensor-death times within one
+//! legacy timestep, see `tests/des_equivalence.rs`).
 
 use bc_core::planner::{try_run, Algorithm};
 use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
+use bc_des::{DesError, FleetConfig, Scenario};
 use bc_units::{Joules, Meters, MetersPerSecond, Seconds, Watts};
 use bc_wsn::Network;
 
@@ -105,9 +112,73 @@ pub struct LifetimeReport {
     pub replans: usize,
     /// Recovery visits to the base station across all rounds.
     pub base_returns: usize,
+    /// Highest battery level observed anywhere. Recharges are clamped at
+    /// capacity, so this never exceeds `battery_j`.
+    pub max_battery_j: Joules,
+    /// Per-sensor instant of first death (battery or hardware), if any.
+    pub first_death_s: Vec<Option<Seconds>>,
 }
 
-/// Runs the lifetime simulation.
+/// Runs the lifetime simulation on the `bc-des` discrete-event engine.
+///
+/// Semantics match [`simulate_reference`]: the tour is planned once with
+/// each sensor's demand equal to the full battery capacity, a round is
+/// dispatched when the low-battery trigger fires, and recharges are
+/// clamped at capacity. The event engine skips quiescent stretches
+/// instead of integrating through them.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (non-positive horizon,
+/// speed, or battery), if planning fails, or if fault-injected execution
+/// fails — the same conditions as the reference integrator.
+pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
+    assert!(cfg.horizon_s.0 > 0.0, "horizon must be positive");
+    assert!(cfg.speed_mps.0 > 0.0, "speed must be positive");
+    assert!(cfg.battery_j.0 > 0.0, "battery must be positive");
+    if net.is_empty() {
+        return simulate_reference(net, cfg);
+    }
+    let scenario = Scenario {
+        net: net.clone(),
+        horizon_s: cfg.horizon_s,
+        drain_w: cfg.drain_w,
+        battery_j: cfg.battery_j,
+        trigger_count: cfg.trigger_count,
+        trigger_level_j: cfg.trigger_level_j,
+        speed_mps: cfg.speed_mps,
+        algorithm: cfg.algorithm,
+        planner: cfg.planner.clone(),
+        faults: cfg.faults.clone(),
+        recovery: cfg.recovery,
+        fleet: FleetConfig::single(),
+        trace_capacity: 0,
+    };
+    let rep = bc_des::run(&scenario).unwrap_or_else(|e| match e {
+        DesError::Plan(pe) => panic!("lifetime planning failed: {pe}"),
+        DesError::Exec(ee) => panic!("fault execution failed: {ee}"),
+        DesError::Scenario(se) => panic!("invalid lifetime configuration: {se}"),
+    });
+    LifetimeReport {
+        rounds: rep.rounds,
+        charger_energy_j: rep.charger_energy_j,
+        downtime_sensor_s: rep.downtime_sensor_s,
+        availability: rep.availability,
+        sensors_ever_dead: rep.sensors_ever_dead,
+        min_battery_j: rep.min_battery_j,
+        fault_deaths: rep.fault_deaths,
+        stranded_sensor_rounds: rep.stranded_sensor_rounds,
+        recovery_latency_s: rep.recovery_latency_s,
+        extra_energy_j: rep.extra_energy_j,
+        replans: rep.replans,
+        base_returns: rep.base_returns,
+        max_battery_j: rep.max_battery_j,
+        first_death_s: rep.first_death_s,
+    }
+}
+
+/// The original fixed-interval integrator, kept as the oracle for the
+/// DES equivalence suite.
 ///
 /// The tour is planned once (the deployment is static) with each
 /// sensor's demand equal to the full battery capacity, and replayed
@@ -119,7 +190,7 @@ pub struct LifetimeReport {
 ///
 /// Panics if the configuration is degenerate (non-positive horizon,
 /// speed, or battery).
-pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
+pub fn simulate_reference(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
     // The replay loops below are dense scalar arithmetic; work in raw f64
     // locals and re-wrap into quantities at the report boundary.
     let horizon = cfg.horizon_s.0;
@@ -145,6 +216,8 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             extra_energy_j: Joules(0.0),
             replans: 0,
             base_returns: 0,
+            max_battery_j: Joules(0.0),
+            first_death_s: Vec::new(),
         };
     }
 
@@ -163,8 +236,10 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
 
     let mut battery = vec![capacity; n];
     let mut ever_dead = vec![false; n];
+    let mut first_death: Vec<Option<f64>> = vec![None; n];
     let mut downtime = 0.0;
     let mut min_battery = capacity;
+    let mut max_battery = capacity;
     let mut charger_energy = 0.0;
     let mut rounds = 0usize;
     let mut now = 0.0f64;
@@ -182,13 +257,16 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
     let mut replans = 0usize;
     let mut base_returns = 0usize;
 
-    // Advance all batteries by dt of pure drain, tracking downtime.
+    // Advance all batteries by dt of pure drain starting at `start`,
+    // tracking downtime and first-death instants.
     let drain_all = |battery: &mut [f64],
                          ever_dead: &mut [bool],
+                         first_death: &mut [Option<f64>],
                          downtime: &mut f64,
                          min_battery: &mut f64,
+                         start: f64,
                          dt: f64| {
-        for (b, dead) in battery.iter_mut().zip(ever_dead.iter_mut()) {
+        for (i, b) in battery.iter_mut().enumerate() {
             let depleted_after = (*b - drain * dt).max(0.0);
             if *b <= 0.0 {
                 *downtime += dt;
@@ -196,7 +274,10 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                 // Died partway through the interval.
                 let time_alive = *b / drain;
                 *downtime += (dt - time_alive).max(0.0);
-                *dead = true;
+                ever_dead[i] = true;
+                if first_death[i].is_none() {
+                    first_death[i] = Some(start + time_alive);
+                }
             }
             *b = depleted_after;
             *min_battery = min_battery.min(*b);
@@ -223,7 +304,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         let k = cfg.trigger_count.min(n) - 1;
         let wait = lows[k];
         let dt = wait.min(horizon - now);
-        drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dt);
+        drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, dt);
         now += dt;
         if now >= horizon {
             break;
@@ -246,7 +327,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                     break;
                 }
                 let drive_t = e.drive_s.0.min(horizon - now);
-                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
+                drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, drive_t);
                 now += drive_t;
                 let frac = if e.drive_s.0 > 0.0 { drive_t / e.drive_s.0 } else { 1.0 };
                 charger_energy += cfg.planner.energy.movement_energy(e.drive_m * frac).0;
@@ -254,20 +335,22 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                     break;
                 }
                 let wait_t = e.backoff_s.0.min(horizon - now);
-                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, wait_t);
+                drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, wait_t);
                 now += wait_t;
                 if now >= horizon {
                     break;
                 }
                 let dwell = e.dwell_s.0.min(horizon - now);
-                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
+                drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, dwell);
                 if dwell >= e.dwell_s.0 {
                     // Full dwell: every served member got its demand.
                     for &s in &e.served {
                         battery[s] = capacity;
+                        max_battery = max_battery.max(battery[s]);
                     }
                 } else {
-                    // Horizon cut the dwell short: proportional harvest.
+                    // Horizon cut the dwell short: proportional harvest,
+                    // clamped at capacity.
                     for &s in &e.served {
                         let d = net.sensor(s).pos.distance(e.anchor);
                         let harvested = cfg
@@ -277,6 +360,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                             .0
                             * e.efficiency;
                         battery[s] = (battery[s] + harvested).min(capacity);
+                        max_battery = max_battery.max(battery[s]);
                     }
                 }
                 now += dwell;
@@ -289,7 +373,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             let close_s_full = (report.duration_s.0 - replayed_s).max(0.0);
             let close_s = close_s_full.min((horizon - now).max(0.0));
             if close_s > 0.0 {
-                drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, close_s);
+                drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, close_s);
                 now += close_s;
                 let frac = if close_s_full > 0.0 { close_s / close_s_full } else { 1.0 };
                 charger_energy += cfg
@@ -307,6 +391,9 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                     battery[s] = 0.0;
                     ever_dead[s] = true;
                     min_battery = 0.0;
+                    if first_death[s].is_none() {
+                        first_death[s] = Some(now);
+                    }
                 }
             }
             stranded_rounds += report.stranded.len();
@@ -326,7 +413,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             let prev = stops[(i + m - 1) % m].anchor();
             let leg = prev.distance(stop.anchor());
             let drive_t = (leg / speed).min(horizon - now);
-            drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, drive_t);
+            drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, drive_t);
             now += drive_t;
             charger_energy += cfg.planner.energy.movement_energy(Meters(drive_t * speed)).0;
             if now >= horizon {
@@ -334,7 +421,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
             }
             // Park and charge: members harvest while everyone drains.
             let dwell = stop.dwell.0.min(horizon - now);
-            drain_all(&mut battery, &mut ever_dead, &mut downtime, &mut min_battery, dwell);
+            drain_all(&mut battery, &mut ever_dead, &mut first_death, &mut downtime, &mut min_battery, now, dwell);
             for &j in &stop.bundle.sensors {
                 let d = net.sensor(j).pos.distance(stop.anchor());
                 let harvested = cfg
@@ -343,6 +430,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
                     .delivered_energy(Meters(d), Seconds(dwell))
                     .0;
                 battery[j] = (battery[j] + harvested).min(capacity);
+                max_battery = max_battery.max(battery[j]);
             }
             now += dwell;
             charger_energy += cfg.planner.energy.charging_energy(Seconds(dwell)).0;
@@ -363,6 +451,8 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         extra_energy_j: Joules(extra_energy),
         replans,
         base_returns,
+        max_battery_j: Joules(max_battery),
+        first_death_s: first_death.iter().map(|t| t.map(Seconds)).collect(),
     }
 }
 
@@ -543,5 +633,42 @@ mod tests {
         let mut cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
         cfg.horizon_s = Seconds(0.0);
         let _ = simulate(&net, &cfg);
+    }
+
+    #[test]
+    fn recharges_never_overfill_batteries() {
+        // Regression: recharged energy must be clamped at capacity, in both
+        // the DES path and the reference integrator.
+        let net = small_net();
+        let cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::BcOpt);
+        for rep in [simulate(&net, &cfg), simulate_reference(&net, &cfg)] {
+            assert!(
+                rep.max_battery_j <= cfg.battery_j + Joules(1e-9),
+                "battery overfilled: {} > capacity {}",
+                rep.max_battery_j,
+                cfg.battery_j
+            );
+            assert!(rep.max_battery_j > Joules(0.0));
+        }
+    }
+
+    #[test]
+    fn des_agrees_with_reference_integrator() {
+        // The fine-grained equivalence sweep lives in
+        // tests/des_equivalence.rs; this is the quick in-crate check.
+        let net = small_net();
+        let cfg = LifetimeConfig::paper_sim(30, 30.0, Algorithm::Bc);
+        let des = simulate(&net, &cfg);
+        let reference = simulate_reference(&net, &cfg);
+        assert_eq!(des.rounds, reference.rounds);
+        assert_eq!(des.sensors_ever_dead, reference.sensors_ever_dead);
+        let rel = (des.charger_energy_j.get() - reference.charger_energy_j.get()).abs()
+            / reference.charger_energy_j.get().max(1.0);
+        assert!(
+            rel < 1e-6,
+            "energy mismatch: des {} vs reference {}",
+            des.charger_energy_j,
+            reference.charger_energy_j
+        );
     }
 }

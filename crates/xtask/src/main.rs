@@ -27,6 +27,11 @@
 //!    artifacts from a shared `PlanContext` so a figure sweep builds
 //!    them once; a deliberate direct build carries `// context-ok:
 //!    <reason>`.
+//! 6. **Raw time arithmetic in bc-des** — `Seconds(`, `_s.0` and
+//!    `as_secs_f64` inside `crates/des/src` outside the `clock` module.
+//!    The engine's determinism argument rests on every timestamp flowing
+//!    through `des::clock` (`Time`, `seconds()`/`minutes()`/`hours()`);
+//!    a deliberate exception carries `// time-ok: <reason>`.
 //!
 //! Scope: `src/` trees of the root facade and every `crates/*` member
 //! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
@@ -100,6 +105,7 @@ enum Rule {
     RawQuantityField,
     LintTableDrift,
     ContextBypass,
+    RawTime,
 }
 
 impl fmt::Display for Violation {
@@ -121,6 +127,11 @@ impl fmt::Display for Violation {
             Rule::ContextBypass => (
                 "context-bypass",
                 "build this artifact through PlanContext, or add `// context-ok: <reason>`",
+            ),
+            Rule::RawTime => (
+                "raw-time",
+                "route timestamps through des::clock (Time, seconds()/minutes()/hours()), \
+                 or add `// time-ok: <reason>`",
             ),
         };
         write!(
@@ -153,6 +164,17 @@ fn context_bypass_exempt(label: &str) -> bool {
     label.contains("crates/tsp/")
         || label.ends_with("crates/core/src/context.rs")
         || label.ends_with("crates/core/src/candidates.rs")
+}
+
+/// Raw time arithmetic that must stay inside `des::clock`: direct
+/// `Seconds` construction, tuple-field access on a seconds quantity,
+/// and `Duration`-style float extraction.
+const RAW_TIME_PATTERNS: [&str; 3] = ["Seconds(", "_s.0", "as_secs_f64"];
+
+/// Whether `label` falls under the raw-time rule: all of `bc-des`
+/// except the clock module that owns the sanctioned conversions.
+fn raw_time_scope(label: &str) -> bool {
+    label.contains("crates/des/") && !label.ends_with("clock.rs")
 }
 
 /// Suffixes that mark a field as a physical quantity (matching the
@@ -206,6 +228,18 @@ fn scan_source(label: &str, text: &str) -> Vec<Violation> {
                 file: label.to_string(),
                 line: lineno,
                 rule: Rule::ContextBypass,
+                excerpt: line.to_string(),
+            });
+        }
+
+        if raw_time_scope(label)
+            && !line.contains("time-ok:")
+            && RAW_TIME_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: lineno,
+                rule: Rule::RawTime,
                 excerpt: line.to_string(),
             });
         }
@@ -477,6 +511,26 @@ mod tests {
         let marked =
             "fn f() { let m = DistanceMatrix::from_points(&pts); // context-ok: no net here\n}\n";
         assert!(scan_source("crates/core/src/terrain.rs", marked).is_empty());
+    }
+
+    #[test]
+    fn raw_time_flagged_in_des_outside_clock() {
+        let src = "fn f() {\n    let t = Seconds(3.0);\n    let raw = horizon_s.0;\n    let d = dur.as_secs_f64();\n}\n";
+        let v = scan_source("crates/des/src/engine.rs", src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == Rule::RawTime));
+        // The clock module owns the sanctioned conversions.
+        assert!(scan_source("crates/des/src/clock.rs", src).is_empty());
+        // Other crates keep using Seconds directly.
+        assert!(scan_source("crates/core/src/plan.rs", "let t = Seconds(3.0);\n").is_empty());
+    }
+
+    #[test]
+    fn raw_time_marker_and_test_code_pass() {
+        let marked = "fn f() { let t = Seconds(0.0); // time-ok: report boundary\n}\n";
+        assert!(scan_source("crates/des/src/engine.rs", marked).is_empty());
+        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { t(Seconds(1.0)); }\n}\n";
+        assert!(scan_source("crates/des/src/engine.rs", test_only).is_empty());
     }
 
     #[test]

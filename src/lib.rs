@@ -19,6 +19,7 @@
 //! | [`wpt`] | `bc-wpt` | the quadratic charging model (Eq. 1) and charger energy accounting |
 //! | [`wsn`] | `bc-wsn` | sensors, deployments, spatial index |
 //! | [`core`] | `bc-core` | bundle generation (OBG) and the SC / CSS / BC / BC-OPT planners (BTO) |
+//! | [`des`] | `bc-des` | deterministic discrete-event simulation engine: event queue, logical clock, multi-charger fleets, threshold-triggered replanning |
 //! | [`sim`] | `bc-sim` | the per-figure experiment harness |
 //! | [`testbed`] | `bc-testbed` | the simulated robot-car Powercast testbed |
 //!
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use bc_core as core;
+pub use bc_des as des;
 pub use bc_geom as geom;
 pub use bc_setcover as setcover;
 pub use bc_sim as sim;

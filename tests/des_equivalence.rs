@@ -1,0 +1,106 @@
+//! DES ↔ reference-integrator equivalence.
+//!
+//! `sim::lifetime::simulate` now runs on the `bc-des` event engine;
+//! `simulate_reference` is the legacy continuous integrator kept as an
+//! oracle. For single-charger, fault-free scenarios the two must agree:
+//! same round count, same death set, sensor death times within one legacy
+//! timestep, and charger energy within 1%.
+
+use bundle_charging::core::planner::Algorithm;
+use bundle_charging::sim::lifetime::{simulate, simulate_reference, LifetimeConfig};
+use bundle_charging::wsn::deploy;
+use bundle_charging::geom::Aabb;
+
+/// One legacy timestep: the reference integrator advances round by round,
+/// but resolves battery crossings analytically, so agreement should be
+/// far tighter than this. 1 s is the paper-scale replay granularity.
+const DEATH_TOL_S: f64 = 1.0;
+
+#[test]
+fn des_matches_reference_on_ten_seeds() {
+    for seed in 0..10u64 {
+        let n = 12 + usize::try_from(seed % 3).unwrap() * 6; // 12, 18, 24 sensors
+        let net = deploy::uniform(n, Aabb::square(250.0), 2.0, seed);
+        let mut cfg = LifetimeConfig::paper_sim(n, 25.0, Algorithm::Bc);
+        cfg.horizon_s = bundle_charging::units::Seconds(6.0 * 3600.0);
+
+        let des = simulate(&net, &cfg);
+        let reference = simulate_reference(&net, &cfg);
+
+        assert_eq!(
+            des.rounds, reference.rounds,
+            "seed {seed}: round counts diverge"
+        );
+        assert_eq!(
+            des.sensors_ever_dead, reference.sensors_ever_dead,
+            "seed {seed}: death sets diverge"
+        );
+        assert_eq!(
+            des.base_returns, reference.base_returns,
+            "seed {seed}: base returns diverge"
+        );
+
+        let e_des = des.charger_energy_j.get();
+        let e_ref = reference.charger_energy_j.get();
+        let rel = (e_des - e_ref).abs() / e_ref.max(1e-12);
+        assert!(
+            rel < 0.01,
+            "seed {seed}: charger energy diverges: des {e_des} vs ref {e_ref}"
+        );
+
+        assert_eq!(des.first_death_s.len(), reference.first_death_s.len());
+        for (i, (d, r)) in des
+            .first_death_s
+            .iter()
+            .zip(&reference.first_death_s)
+            .enumerate()
+        {
+            match (d, r) {
+                (None, None) => {}
+                (Some(td), Some(tr)) => {
+                    let dt = (td.get() - tr.get()).abs();
+                    assert!(
+                        dt <= DEATH_TOL_S,
+                        "seed {seed}: sensor {i} death time off by {dt} s \
+                         (des {td}, ref {tr})"
+                    );
+                }
+                (d, r) => panic!(
+                    "seed {seed}: sensor {i} death mismatch: des {d:?}, ref {r:?}"
+                ),
+            }
+        }
+
+        let da = des.availability;
+        let ra = reference.availability;
+        assert!(
+            (da - ra).abs() < 1e-3,
+            "seed {seed}: availability diverges: des {da} vs ref {ra}"
+        );
+    }
+}
+
+/// The downtime and minimum-battery accounting must agree too — these are
+/// the quantities the paper's lifetime figures plot.
+#[test]
+fn des_matches_reference_downtime_accounting() {
+    let net = deploy::uniform(20, Aabb::square(300.0), 2.0, 77);
+    let mut cfg = LifetimeConfig::paper_sim(20, 30.0, Algorithm::BcOpt);
+    // Short horizon with an undersized trigger so some sensors actually die.
+    cfg.horizon_s = bundle_charging::units::Seconds(8.0 * 3600.0);
+
+    let des = simulate(&net, &cfg);
+    let reference = simulate_reference(&net, &cfg);
+
+    let dt = (des.downtime_sensor_s.get() - reference.downtime_sensor_s.get()).abs();
+    assert!(
+        dt <= DEATH_TOL_S * net.len() as f64,
+        "downtime diverges by {dt} s"
+    );
+    let db = (des.min_battery_j.get() - reference.min_battery_j.get()).abs();
+    assert!(db < 1e-6, "min battery diverges by {db} J");
+    assert!(
+        (des.max_battery_j.get() - reference.max_battery_j.get()).abs() < 1e-6,
+        "max battery diverges"
+    );
+}
