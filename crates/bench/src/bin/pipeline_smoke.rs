@@ -17,6 +17,11 @@
 //!    VI-A default scenario (n = 100, 300 m field, r = 10 m), one fresh
 //!    [`PlanContext`] per algorithm so each is billed its own artifact
 //!    builds.
+//! 3. **Observability overhead**: the BC-OPT pipeline with a
+//!    `bc-obs` `NullRecorder` installed vs. no recorder at all. The two
+//!    plans and their metrics must be identical (instrumentation may
+//!    never perturb results); the wall-time ratio is reported so CI can
+//!    flag a disabled-path regression.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -92,12 +97,36 @@ fn run(args: &[String]) -> Result<(), String> {
         stage_json.push(timings_json(algo.name(), &staged.timings));
     }
 
+    eprintln!(">> null-recorder overhead: BC-OPT, {OVERHEAD_REPS} reps each way");
+    let (bare_s, bare_plan) = plan_bc_opt_reps(&default_net, &cfg)?;
+    let null_recorder: std::sync::Arc<dyn bc_obs::Recorder> =
+        std::sync::Arc::new(bc_obs::recorders::NullRecorder);
+    let (null_s, null_plan) = bc_obs::with_local(null_recorder, || {
+        if bc_obs::active() {
+            return Err("NullRecorder left the emission path active".to_owned());
+        }
+        plan_bc_opt_reps(&default_net, &cfg)
+    })?;
+    if null_plan != bare_plan {
+        return Err("plan differs under NullRecorder — instrumentation is not inert".into());
+    }
+    if null_plan.metrics(&cfg.energy) != bare_plan.metrics(&cfg.energy) {
+        return Err("metrics differ under NullRecorder — instrumentation is not inert".into());
+    }
+    let overhead_ratio = null_s / bare_s.max(1e-12);
+    eprintln!(
+        "   bare {bare_s:.3} s, null-recorder {null_s:.3} s, ratio {overhead_ratio:.4} \
+         (plans and metrics identical)"
+    );
+
     let json = format!
         (
         "{{\n  \"bench\": \"pipeline_smoke\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
          \"cores\": {cores},\n  \"workers\": {workers},\n  \"radius_m\": {RADIUS_M},\n  \
          \"num_candidates\": {nc},\n  \"candidates_serial_s\": {serial_s:.6},\n  \
          \"candidates_parallel_s\": {parallel_s:.6},\n  \"candidates_speedup\": {speedup:.3},\n  \
+         \"null_recorder\": {{\"bare_s\": {bare_s:.6}, \"null_s\": {null_s:.6}, \
+         \"overhead_ratio\": {overhead_ratio:.4}, \"plans_identical\": true}},\n  \
          \"stage_timings\": {{\n{stages}\n  }}\n}}\n",
         cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         nc = serial.candidates.len(),
@@ -106,6 +135,30 @@ fn run(args: &[String]) -> Result<(), String> {
     std::fs::write(&out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
     eprintln!("   wrote {}", out.display());
     Ok(())
+}
+
+/// Repetitions for the null-recorder overhead comparison.
+const OVERHEAD_REPS: usize = 3;
+
+/// Plans BC-OPT [`OVERHEAD_REPS`] times on fresh contexts, returning the
+/// fastest wall time (least noise-sensitive) and the last plan.
+fn plan_bc_opt_reps(
+    net: &bc_wsn::Network,
+    cfg: &PlannerConfig,
+) -> Result<(f64, bc_core::ChargingPlan), String> {
+    let mut best_s = f64::INFINITY;
+    let mut plan = None;
+    for _ in 0..OVERHEAD_REPS {
+        let ctx = PlanContext::new(net.clone(), cfg.clone());
+        let t = Instant::now();
+        let staged = ctx
+            .plan(Algorithm::BcOpt)
+            .map_err(|e| format!("BC-OPT: {e}"))?;
+        best_s = best_s.min(t.elapsed().as_secs_f64());
+        plan = Some(staged.plan);
+    }
+    plan.map(|p| (best_s, p))
+        .ok_or_else(|| "no BC-OPT plan produced".to_owned())
 }
 
 fn timings_json(name: &str, t: &StageTimings) -> String {

@@ -13,6 +13,13 @@
 //! them through [`PlanContext::plan`] records a [`StageTimings`] that
 //! [`StagedPlan::metrics`] surfaces through [`Metrics`].
 //!
+//! When a [`bc_obs`] recorder is active, each stage also emits a
+//! `"plan"`-scoped span carrying the algorithm, a cache hit/miss flag,
+//! and the candidate/stop counts — from the *same* measurement that
+//! feeds [`StageTimings`], which is therefore a view over the event
+//! stream rather than a second clock — and each artifact build co-emits
+//! a `plan.build.*` counter event next to its [`BuildCounters`] bump.
+//!
 //! # Determinism
 //!
 //! The parallel stages (candidate enumeration, BC-OPT's per-anchor
@@ -94,6 +101,14 @@ impl BuildCounters {
         self.candidates.load(Ordering::Relaxed)
     }
 
+    /// Sum of all builds, used to classify a stage as a cache hit or
+    /// miss in its span event.
+    fn total_builds(&self) -> usize {
+        self.candidates.load(Ordering::Relaxed)
+            + self.matrices.load(Ordering::Relaxed)
+            + self.power_tables.load(Ordering::Relaxed)
+    }
+
     /// Number of sensor distance-matrix builds.
     pub fn matrix_builds(&self) -> usize {
         self.matrices.load(Ordering::Relaxed)
@@ -137,6 +152,25 @@ impl StageTimings {
             StageKind::Order => self.order_s += dt,
             StageKind::Tighten => self.tighten_s += dt,
         }
+    }
+}
+
+impl std::ops::Add for StageTimings {
+    type Output = StageTimings;
+
+    fn add(self, rhs: StageTimings) -> StageTimings {
+        StageTimings {
+            candidates_s: self.candidates_s + rhs.candidates_s,
+            cover_s: self.cover_s + rhs.cover_s,
+            order_s: self.order_s + rhs.order_s,
+            tighten_s: self.tighten_s + rhs.tighten_s,
+        }
+    }
+}
+
+impl std::ops::AddAssign for StageTimings {
+    fn add_assign(&mut self, rhs: StageTimings) {
+        *self = *self + rhs;
     }
 }
 
@@ -187,6 +221,19 @@ pub enum StageKind {
     Order,
     /// Post-ordering improvement (substitute / anchor relocation).
     Tighten,
+}
+
+impl StageKind {
+    /// The stable event name this stage's span is emitted under (the
+    /// `name` of a `"plan"`-scoped [`bc_obs`] span).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            StageKind::Candidates => "stage.candidates",
+            StageKind::Cover => "stage.cover",
+            StageKind::Order => "stage.order",
+            StageKind::Tighten => "stage.tighten",
+        }
+    }
 }
 
 /// Working state threaded through a pipeline run: the Cover stage fills
@@ -496,6 +543,14 @@ impl PlanContext {
     pub fn candidates(&self) -> &CandidateFamily {
         self.candidates.get_or_init(|| {
             self.counters.candidates.fetch_add(1, Ordering::Relaxed);
+            if bc_obs::active() {
+                bc_obs::counter(
+                    "plan",
+                    "build.candidates",
+                    1,
+                    &[bc_obs::Field::new("sensors", self.net.len())],
+                );
+            }
             CandidateFamily::pair_intersection_par(&self.net, self.cfg.bundle_radius.0, self.workers)
         })
     }
@@ -506,6 +561,14 @@ impl PlanContext {
     pub fn sensor_matrix(&self) -> &DistanceMatrix {
         self.sensor_matrix.get_or_init(|| {
             self.counters.matrices.fetch_add(1, Ordering::Relaxed);
+            if bc_obs::active() {
+                bc_obs::counter(
+                    "plan",
+                    "build.matrix",
+                    1,
+                    &[bc_obs::Field::new("sensors", self.net.len())],
+                );
+            }
             DistanceMatrix::from_points(self.net.positions())
         })
     }
@@ -520,6 +583,14 @@ impl PlanContext {
     pub fn power_table(&self) -> &ReceivePowerTable {
         self.power_table.get_or_init(|| {
             self.counters.power_tables.fetch_add(1, Ordering::Relaxed);
+            if bc_obs::active() {
+                bc_obs::counter(
+                    "plan",
+                    "build.power_table",
+                    1,
+                    &[bc_obs::Field::new("sensors", self.net.len())],
+                );
+            }
             let demands: Vec<Joules> = self.net.sensors().iter().map(|s| s.demand).collect();
             ReceivePowerTable::new(&self.cfg.charging, &demands)
         })
@@ -560,13 +631,44 @@ impl PlanContext {
         Ok(staged)
     }
 
+    /// Runs the stage pipeline, timing each stage exactly once: the same
+    /// measurement feeds the [`StageTimings`] aggregate and the per-stage
+    /// `bc_obs` span, so the public timing type is a *view over* the
+    /// event stream, never a second clock.
     fn run_stages(&self, algo: Algorithm) -> StagedPlan {
         let mut state = StageState::default();
         let mut timings = StageTimings::default();
         for stage in stages_for(algo) {
+            let builds_before = self.counters.total_builds();
             let t0 = Instant::now();
             stage.run(self, &mut state);
-            timings.add(stage.kind(), Seconds(t0.elapsed().as_secs_f64()));
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            timings.add(stage.kind(), Seconds(elapsed_s));
+            if bc_obs::active() {
+                let cache = if self.counters.total_builds() > builds_before {
+                    "miss"
+                } else {
+                    "hit"
+                };
+                let stops = state
+                    .plan
+                    .as_ref()
+                    .map_or(state.stops.len(), ChargingPlan::num_charging_stops);
+                bc_obs::span(
+                    "plan",
+                    stage.kind().span_name(),
+                    elapsed_s,
+                    &[
+                        bc_obs::Field::new("algo", algo.name()),
+                        bc_obs::Field::new("cache", cache),
+                        bc_obs::Field::new(
+                            "candidates",
+                            self.candidates.get().map_or(0, CandidateFamily::len),
+                        ),
+                        bc_obs::Field::new("stops", stops),
+                    ],
+                );
+            }
         }
         let plan = state
             .plan

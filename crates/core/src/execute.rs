@@ -19,6 +19,13 @@
 //!
 //! Execution is deterministic: the same `(plan, FaultModel, round,
 //! policy)` produces a byte-identical [`ExecutionReport`].
+//!
+//! When a [`bc_obs`] recorder is active, the executor also emits one
+//! `"exec"`-scoped event per realized timeline entry — `stop`,
+//! `base_return`, `stop.abandoned`, `fault.death`, `replan` — carrying
+//! the served counts, energy deltas and recovery decisions. All emitted
+//! values are simulated quantities (never wall clock), so the event
+//! stream inherits the executor's determinism.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -516,6 +523,17 @@ impl ExecState {
         self.latency_s += t;
         self.base_returns += 1;
         self.ended_at_base = true;
+        if bc_obs::active() {
+            bc_obs::event(
+                "exec",
+                "base_return",
+                &[
+                    bc_obs::Field::new("round", self.round),
+                    bc_obs::Field::new("drive_m", d.0),
+                    bc_obs::Field::new("returns", self.base_returns),
+                ],
+            );
+        }
         self.timeline.push(ExecutedStop {
             plan_stop: None,
             anchor: exec.net.base(),
@@ -584,6 +602,22 @@ impl ExecState {
         self.duration_s += dwell;
         self.latency_s += dwell - stop.dwell;
         self.charge_energy_j += exec.cfg.energy.charging_energy(dwell);
+        if bc_obs::active() {
+            bc_obs::event(
+                "exec",
+                "stop",
+                &[
+                    bc_obs::Field::new("round", self.round),
+                    bc_obs::Field::new("tag", tag),
+                    bc_obs::Field::new("attempts", fails + 1),
+                    bc_obs::Field::new("served", served.len()),
+                    bc_obs::Field::new("dwell_s", dwell.0),
+                    bc_obs::Field::new("delivered_j", delivered.0),
+                    bc_obs::Field::new("efficiency", efficiency),
+                ],
+            );
+            bc_obs::histogram("exec", "stop.dwell_s", dwell.0, &[]);
+        }
         self.timeline.push(ExecutedStop {
             plan_stop: Some(tag),
             anchor: stop.anchor(),
@@ -614,6 +648,18 @@ impl ExecState {
         self.retries += attempts;
         self.duration_s += backoff;
         self.latency_s += backoff;
+        if bc_obs::active() {
+            bc_obs::event(
+                "exec",
+                "stop.abandoned",
+                &[
+                    bc_obs::Field::new("round", self.round),
+                    bc_obs::Field::new("tag", tag),
+                    bc_obs::Field::new("attempts", attempts),
+                    bc_obs::Field::new("policy", self.policy.name()),
+                ],
+            );
+        }
         match self.policy {
             RecoveryPolicy::SkipAndContinue | RecoveryPolicy::ReplanRemaining => {
                 // Give up in place; live members stay stranded.
@@ -667,6 +713,17 @@ impl ExecState {
         self.dead[orig] = true;
         if new_death {
             self.fault_deaths.push(orig);
+            if bc_obs::active() {
+                bc_obs::event(
+                    "exec",
+                    "fault.death",
+                    &[
+                        bc_obs::Field::new("round", self.round),
+                        bc_obs::Field::new("sensor", orig),
+                        bc_obs::Field::new("policy", self.policy.name()),
+                    ],
+                );
+            }
         }
         let Some(ci) = self.orig_of.iter().position(|&o| o == orig) else {
             return Ok(());
@@ -744,6 +801,17 @@ impl ExecState {
         let new_plan = self.cache.remove_sensor(&remaining, ci)?;
         self.orig_of.remove(ci);
         self.replans += 1;
+        if bc_obs::active() {
+            bc_obs::event(
+                "exec",
+                "replan",
+                &[
+                    bc_obs::Field::new("round", self.round),
+                    bc_obs::Field::new("revision", self.cache.revision()),
+                    bc_obs::Field::new("stops", new_plan.stops.len()),
+                ],
+            );
+        }
         // remove_sensor keeps stop order, drops dissolved singletons and
         // preserves way-points; walk both lists in lockstep to retag.
         let mut rebuilt = new_plan.stops.into_iter();

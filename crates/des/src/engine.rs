@@ -394,7 +394,9 @@ impl<'a> Engine<'a> {
             }
             let Some(sch) = self.queue.pop() else { break };
             self.clock.advance_to(sch.at);
-            self.trace.push(TraceRecord { at: sch.at, seq: sch.seq, event: sch.event });
+            let rec = TraceRecord { at: sch.at, seq: sch.seq, event: sch.event };
+            self.trace.push(rec);
+            crate::trace::emit_obs(&rec);
             self.events_processed += 1;
             self.handle(sch.event)?;
         }
@@ -486,8 +488,23 @@ impl<'a> Engine<'a> {
         st.level = level;
         st.updated = now;
         st.gen += 1;
+        let gen = st.gen;
         let was_low = st.low;
         st.low = low;
+        if bc_obs::active() {
+            // The generation bump just invalidated any queued crossings
+            // computed from the stale trajectory.
+            bc_obs::event(
+                "des",
+                "battery.invalidate",
+                &[
+                    bc_obs::Field::new("sensor", s),
+                    bc_obs::Field::new("gen", gen),
+                    bc_obs::Field::new("level_j", level.get()),
+                    bc_obs::Field::new("low", low),
+                ],
+            );
+        }
         match (was_low, low) {
             (true, false) => self.low_count -= 1,
             (false, true) => self.low_count += 1,
@@ -642,6 +659,24 @@ impl<'a> Engine<'a> {
             return Ok(());
         }
         self.rounds += 1;
+        if bc_obs::active() {
+            bc_obs::event(
+                "des",
+                "dispatch.round",
+                &[
+                    bc_obs::Field::new("round", self.rounds),
+                    bc_obs::Field::new("stops", self.plan.stops.len()),
+                    bc_obs::Field::new("low", self.low_count),
+                    bc_obs::Field::new(
+                        "mode",
+                        match self.mode {
+                            Mode::ExecutorRound => "executor",
+                            Mode::Direct => "direct",
+                        },
+                    ),
+                ],
+            );
+        }
         let sc = self.sc;
         let routes = match self.mode {
             Mode::ExecutorRound => self.executor_round()?,
@@ -1190,6 +1225,48 @@ mod tests {
         let rep = run(&sc).unwrap();
         assert!(rep.trace.len() <= 8);
         assert!(rep.events_processed > 8);
+    }
+
+    #[test]
+    fn overflowed_ring_reports_dropped_records() {
+        // Regression: trace truncation must be visible, not silent. A
+        // capacity-2 ring on any real run overflows immediately, and the
+        // report must account for every evicted record.
+        let mut sc = scenario(20, 3);
+        sc.trace_capacity = 2;
+        let rep = run(&sc).unwrap();
+        assert_eq!(rep.trace.len(), 2);
+        assert!(rep.events_processed > 2);
+        assert_eq!(rep.trace_dropped, rep.events_processed - 2);
+    }
+
+    #[test]
+    fn engine_events_bridge_into_obs() {
+        use bc_obs::recorders::StatsRecorder;
+        use std::sync::Arc;
+        let stats = Arc::new(StatsRecorder::new());
+        let rep = bc_obs::with_local(stats.clone(), || run(&scenario(20, 3)).unwrap());
+        let snap = stats.snapshot();
+        // Every processed event was mirrored into the recorder.
+        let mirrored: u64 = snap
+            .events
+            .iter()
+            .filter(|(k, _)| {
+                k.strip_prefix("des.")
+                    .is_some_and(|n| n != "battery.invalidate" && n != "dispatch.round")
+            })
+            .map(|(_, &n)| n)
+            .sum();
+        assert_eq!(mirrored, rep.events_processed);
+        assert_eq!(
+            snap.events.get("des.dispatch.round").copied().unwrap_or(0),
+            u64::try_from(rep.rounds).unwrap(),
+            "one dispatch.round event per round"
+        );
+        assert!(
+            snap.events.get("des.battery.invalidate").copied().unwrap_or(0) > 0,
+            "recharges must emit invalidation events"
+        );
     }
 
     #[test]

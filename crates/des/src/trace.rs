@@ -5,10 +5,47 @@
 //! *latest* `capacity` records and counts how many older ones were evicted,
 //! so memory stays bounded while the tail of the run — usually where the
 //! interesting failure is — stays inspectable.
+//!
+//! When a [`bc_obs`] recorder is active, every record is additionally
+//! mirrored into it via [`emit_obs`] — *unbounded*, since the recorder
+//! chooses its own retention — so engine events, battery invalidations
+//! and dispatch decisions land in the same stream as planner and
+//! executor events.
 
 use crate::clock::Time;
 use crate::event::Event;
 use std::collections::VecDeque;
+
+/// Mirrors one processed record into the active [`bc_obs`] recorder as a
+/// `"des"`-scoped event named after [`Event::kind`], with the simulated
+/// time, queue sequence number and the event's indices as fields. All
+/// values are simulated quantities, so the stream is deterministic.
+pub fn emit_obs(record: &TraceRecord) {
+    if !bc_obs::active() {
+        return;
+    }
+    let mut fields = Vec::with_capacity(4);
+    fields.push(bc_obs::Field::new("t_s", record.at.seconds().get()));
+    fields.push(bc_obs::Field::new("seq", record.seq));
+    match record.event {
+        Event::LowBattery { sensor, gen } | Event::Depleted { sensor, gen } => {
+            fields.push(bc_obs::Field::new("sensor", sensor));
+            fields.push(bc_obs::Field::new("gen", gen));
+        }
+        Event::Dispatch => {}
+        Event::Arrival { charger, seg } | Event::ChargingComplete { charger, seg } => {
+            fields.push(bc_obs::Field::new("charger", charger));
+            fields.push(bc_obs::Field::new("seg", seg));
+        }
+        Event::Returned { charger } => {
+            fields.push(bc_obs::Field::new("charger", charger));
+        }
+        Event::FaultDeath { sensor } => {
+            fields.push(bc_obs::Field::new("sensor", sensor));
+        }
+    }
+    bc_obs::event("des", record.event.kind(), &fields);
+}
 
 /// One processed event as it appeared on the timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]

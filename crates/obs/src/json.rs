@@ -1,0 +1,328 @@
+//! Minimal JSON support for the JSONL sink: string escaping, value
+//! rendering, and a dependency-free validator for event streams.
+//!
+//! The workspace vendors only offline stubs (the `serde` facade's derive
+//! macros are no-ops), so the JSONL recorder hand-renders its lines here
+//! with a *fixed field order* — `scope`, `name`, `kind`, `value`,
+//! `fields` (emission order) — which is what makes same-seed streams
+//! byte-comparable. The validator is the consumer side: `repro obs` and
+//! the determinism test run every emitted line back through
+//! [`validate_line`] so a malformed stream fails the run that produced
+//! it, not a downstream dashboard.
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => { // cast-ok: char to code point, lossless
+                out.push_str(&format!("\\u{:04x}", c as u32)); // cast-ok: char to code point
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a finite f64 deterministically (shortest round-trip form);
+/// non-finite values become `null` (JSON has no NaN/Infinity).
+pub fn number_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Why a line failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure within the line.
+    pub at: usize,
+    /// What the parser expected.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: expected {}", self.at, self.expected)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Validates that `line` is exactly one JSON value (object, array,
+/// string, number, boolean or null) with nothing but whitespace around
+/// it. This is a structural check, not a data model — it exists so CI
+/// can reject a truncated or interleaved JSONL artifact without a JSON
+/// dependency.
+///
+/// # Errors
+///
+/// A [`JsonError`] locating the first offending byte.
+pub fn validate_line(line: &str) -> Result<(), JsonError> {
+    let bytes = line.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(JsonError { at: p.pos, expected: "end of line" });
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL document: every non-empty line must pass
+/// [`validate_line`], and there must be at least one.
+///
+/// # Errors
+///
+/// `(line_number, error)` of the first failure (1-based), or line 0 when
+/// the stream holds no events at all.
+pub fn validate_jsonl(text: &str) -> Result<usize, (usize, JsonError)> {
+    let mut count = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line).map_err(|e| (i + 1, e))?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err((0, JsonError { at: 0, expected: "at least one event line" }));
+    }
+    Ok(count)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, expected: &'static str) -> JsonError {
+        JsonError { at: self.pos, expected }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8]) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err("a JSON literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.pos += 1; // '['
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("'\"'"));
+        }
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.bytes.get(self.pos) {
+                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("4 hex digits")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("an escape character")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("no raw control characters")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("closing '\"'"))
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("a digit"));
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("a fraction digit"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("an exponent digit"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_and_nonfinite_is_null() {
+        let mut out = String::new();
+        number_into(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+        out.clear();
+        number_into(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn valid_lines_pass() {
+        for line in [
+            r#"{"scope":"plan","name":"x","kind":"span","value":null,"fields":{}}"#,
+            r#"{"a":[1,2.5,-3e2,true,false,null,"s\""]}"#,
+            "  {} ",
+            "[]",
+            "42",
+        ] {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn invalid_lines_fail() {
+        for line in [
+            r#"{"a":}"#,
+            r#"{"a":1"#,
+            r#"{"a" 1}"#,
+            r#"{'a':1}"#,
+            "{}{}",
+            "nope",
+            "1.",
+            "--3",
+            "\"unterminated",
+        ] {
+            assert!(validate_line(line).is_err(), "{line} should fail");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_counts_and_rejects() {
+        assert_eq!(validate_jsonl("{}\n{\"a\":1}\n\n"), Ok(2));
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("\n\n").is_err());
+        let (line, _) = validate_jsonl("{}\nbroken\n").unwrap_err();
+        assert_eq!(line, 2);
+    }
+}

@@ -1,0 +1,487 @@
+//! Unified structured tracing and metrics for the bundle-charging
+//! workspace.
+//!
+//! Before this crate, instrumentation lived on four islands — per-stage
+//! wall times in `bc-core::context`, recovery metrics in
+//! `bc-core::execute`, the bounded `TraceRing` in `bc-des`, and ad-hoc
+//! summaries in `bc-sim` — none of which shared an event model. `bc-obs`
+//! gives them one: every subsystem emits [`ObsEvent`]s through a single
+//! thread-safe [`Recorder`], and what happens to those events (dropped,
+//! aggregated, streamed as JSONL) is the recorder's choice, not the
+//! emitter's.
+//!
+//! # Event model
+//!
+//! An event is `(scope, name, kind, value, fields)`:
+//!
+//! * `scope` — the emitting subsystem (`"plan"`, `"exec"`, `"des"`);
+//! * `name` — a stable dotted identifier (`"stage.cover"`,
+//!   `"battery.invalidate"`);
+//! * `kind` — [`Kind::Span`] (a timed region), [`Kind::Counter`] (a
+//!   monotone increment), [`Kind::Histogram`] (one sample of a
+//!   distribution) or [`Kind::Event`] (a point occurrence);
+//! * `value` — the kind's payload ([`Value::Wall`] for wall-clock span
+//!   durations, which are *nondeterministic by nature* and therefore a
+//!   distinct variant that deterministic sinks can mask);
+//! * `fields` — additional structured key/value context.
+//!
+//! # Zero cost when disabled
+//!
+//! With no recorder installed, every emission helper is one thread-local
+//! flag read plus one relaxed atomic load and an immediate return — no
+//! event is built, no field vector allocated. The hot paths additionally
+//! guard field construction behind [`active`], so a disabled run does no
+//! observability work at all. Installing [`recorders::NullRecorder`]
+//! keeps the pipeline disabled (its [`Recorder::enabled`] is `false`),
+//! which is what the bench-smoke bit-identity check relies on.
+//!
+//! # Installation
+//!
+//! Two scopes, local-wins:
+//!
+//! * [`install`] / [`uninstall`] — a process-wide recorder, for binaries
+//!   (`repro obs` installs a fanout of a stats aggregator and a JSONL
+//!   stream);
+//! * [`with_local`] — a recorder scoped to the current thread for the
+//!   duration of a closure, for tests (parallel test threads cannot see
+//!   each other's events).
+//!
+//! Emissions happen on the thread that runs the planner pipeline, the
+//! executor loop and the DES engine loop — all single-threaded
+//! orchestrators — so a thread-local recorder observes complete streams
+//! even though some *stages* fan work out to scoped worker threads.
+//!
+//! # Determinism
+//!
+//! Everything in an event except [`Value::Wall`] durations is a pure
+//! function of the (seeded) inputs. [`recorders::JsonlRecorder`] masks
+//! `Wall` values by default, so two runs of the same seed produce
+//! byte-identical JSONL streams — the property the determinism test and
+//! the CI `obs-smoke` artifact diff rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_obs::{recorders::StatsRecorder, with_local, counter, Field, Value};
+//! use std::sync::Arc;
+//!
+//! let stats = Arc::new(StatsRecorder::new());
+//! with_local(stats.clone(), || {
+//!     counter("plan", "build.candidates", 1, &[Field::new("n", 40usize)]);
+//! });
+//! let snap = stats.snapshot();
+//! assert_eq!(snap.counter("plan.build.candidates"), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod recorders;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A structured field value.
+///
+/// Wall-clock durations get their own variant ([`Value::Wall`]) because
+/// they are the one nondeterministic quantity the workspace emits;
+/// deterministic sinks mask them, aggregating sinks consume them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// No payload (plain point events).
+    None,
+    /// Unsigned integer (counts, indices, rounds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Deterministic float (simulated time, energies, distances).
+    F64(f64),
+    /// Wall-clock duration in seconds — nondeterministic by nature.
+    Wall(f64),
+    /// Static string (labels: algorithm, policy, event kind).
+    Str(&'static str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        // Lossless everywhere the workspace builds (usize <= 64 bits);
+        // saturate rather than truncate if that ever changes.
+        Value::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One key/value pair of event context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Field {
+    /// Field name (stable identifier, no escaping needed in practice —
+    /// sinks escape anyway).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field from anything convertible to a [`Value`].
+    pub fn new(key: &'static str, value: impl Into<Value>) -> Self {
+        Field { key, value: value.into() }
+    }
+}
+
+/// What an event measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A timed region; the value is its [`Value::Wall`] duration.
+    Span,
+    /// A monotone increment; the value is the [`Value::U64`] delta.
+    Counter,
+    /// One sample of a distribution; the value is the [`Value::F64`]
+    /// sample.
+    Histogram,
+    /// A point occurrence with no measurement.
+    Event,
+}
+
+impl Kind {
+    /// Stable lowercase label used by the JSONL sink.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Span => "span",
+            Kind::Counter => "counter",
+            Kind::Histogram => "histogram",
+            Kind::Event => "event",
+        }
+    }
+}
+
+/// One structured observability event, borrowed for the duration of a
+/// [`Recorder::record`] call (recorders that need to keep it copy the
+/// parts they aggregate).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsEvent<'a> {
+    /// Emitting subsystem (`"plan"`, `"exec"`, `"des"`).
+    pub scope: &'static str,
+    /// Stable dotted event name within the scope.
+    pub name: &'static str,
+    /// What the event measures.
+    pub kind: Kind,
+    /// The measurement payload (see [`Kind`]).
+    pub value: Value,
+    /// Structured context, in emission order (sinks must preserve it —
+    /// deterministic field order is part of the JSONL contract).
+    pub fields: &'a [Field],
+}
+
+impl ObsEvent<'_> {
+    /// `scope.name`, the key aggregating recorders file the event under.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}.{}", self.scope, self.name)
+    }
+}
+
+/// A thread-safe event sink.
+///
+/// Implementations must be cheap to call from hot loops (the built-in
+/// aggregator takes one mutex per event) and must not panic: a recorder
+/// failure must never take down a planning or simulation run.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &ObsEvent<'_>);
+
+    /// Whether this recorder wants events at all. The dispatch layer
+    /// caches this at install time: a recorder answering `false` (the
+    /// [`recorders::NullRecorder`]) keeps the emission helpers on their
+    /// disabled fast path.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<dyn Recorder>>> = const { RefCell::new(None) };
+    /// Fast-path mirror of `LOCAL`: `Some(true)` = local recorder wants
+    /// events, `Some(false)` = local recorder installed but silent
+    /// (overrides the global), `None` = no local recorder.
+    static LOCAL_STATE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Installs `recorder` process-wide. Replaces any previous global
+/// recorder. Thread-local recorders (see [`with_local`]) take precedence
+/// on their thread.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    let enabled = recorder.enabled();
+    let mut slot = GLOBAL.write().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(recorder);
+    GLOBAL_ACTIVE.store(enabled, Ordering::Release);
+}
+
+/// Removes the process-wide recorder (emission helpers return to their
+/// zero-cost disabled path).
+pub fn uninstall() {
+    let mut slot = GLOBAL.write().unwrap_or_else(PoisonError::into_inner);
+    *slot = None;
+    GLOBAL_ACTIVE.store(false, Ordering::Release);
+}
+
+/// Runs `f` with `recorder` installed for the current thread only,
+/// restoring the previous thread-local recorder afterwards (also on
+/// panic). A thread-local recorder overrides the global one entirely —
+/// including silencing it when the local recorder is a
+/// [`recorders::NullRecorder`].
+pub fn with_local<R>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        prev: Option<Arc<dyn Recorder>>,
+        prev_state: Option<bool>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL.with(|l| *l.borrow_mut() = self.prev.take());
+            LOCAL_STATE.with(|s| s.set(self.prev_state));
+        }
+    }
+    let enabled = recorder.enabled();
+    let prev = LOCAL.with(|l| l.borrow_mut().replace(recorder));
+    let prev_state = LOCAL_STATE.with(|s| s.replace(Some(enabled)));
+    let _restore = Restore { prev, prev_state };
+    f()
+}
+
+/// True when some installed recorder wants events. Hot paths use this to
+/// skip building fields entirely; the emission helpers check it again
+/// internally, so calling them unguarded is correct, just marginally
+/// slower.
+#[inline]
+pub fn active() -> bool {
+    match LOCAL_STATE.with(Cell::get) {
+        Some(state) => state,
+        None => GLOBAL_ACTIVE.load(Ordering::Acquire),
+    }
+}
+
+/// The recorder an emission on this thread would reach, if any.
+fn current() -> Option<Arc<dyn Recorder>> {
+    if LOCAL_STATE.with(Cell::get).is_some() {
+        return LOCAL.with(|l| l.borrow().clone());
+    }
+    GLOBAL
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+#[inline]
+fn dispatch(event: &ObsEvent<'_>) {
+    if let Some(r) = current() {
+        r.record(event);
+    }
+}
+
+/// Emits a counter increment of `delta`.
+#[inline]
+pub fn counter(scope: &'static str, name: &'static str, delta: u64, fields: &[Field]) {
+    if !active() {
+        return;
+    }
+    dispatch(&ObsEvent { scope, name, kind: Kind::Counter, value: Value::U64(delta), fields });
+}
+
+/// Emits one histogram sample.
+#[inline]
+pub fn histogram(scope: &'static str, name: &'static str, sample: f64, fields: &[Field]) {
+    if !active() {
+        return;
+    }
+    dispatch(&ObsEvent { scope, name, kind: Kind::Histogram, value: Value::F64(sample), fields });
+}
+
+/// Emits a completed span of `elapsed_s` wall-clock seconds.
+///
+/// The caller owns the measurement (one `Instant` at the call site) so a
+/// single timing can feed both the event stream and any legacy
+/// aggregate — `StageTimings` in `bc-core` is exactly such a view.
+#[inline]
+pub fn span(scope: &'static str, name: &'static str, elapsed_s: f64, fields: &[Field]) {
+    if !active() {
+        return;
+    }
+    dispatch(&ObsEvent { scope, name, kind: Kind::Span, value: Value::Wall(elapsed_s), fields });
+}
+
+/// Emits a point event.
+#[inline]
+pub fn event(scope: &'static str, name: &'static str, fields: &[Field]) {
+    if !active() {
+        return;
+    }
+    dispatch(&ObsEvent { scope, name, kind: Kind::Event, value: Value::None, fields });
+}
+
+/// RAII span guard: measures from construction to [`SpanGuard::finish`]
+/// (or drop) and emits one [`Kind::Span`] event.
+///
+/// ```
+/// let _span = bc_obs::SpanGuard::new("plan", "stage.cover");
+/// // ... timed work ...
+/// ```
+#[must_use = "dropping the guard immediately measures nothing"]
+pub struct SpanGuard {
+    scope: &'static str,
+    name: &'static str,
+    started: std::time::Instant,
+    fields: Vec<Field>,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Starts a span now.
+    pub fn new(scope: &'static str, name: &'static str) -> Self {
+        SpanGuard { scope, name, started: std::time::Instant::now(), fields: Vec::new(), done: false }
+    }
+
+    /// Attaches a field to the eventual span event (builder style).
+    pub fn with_field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push(Field::new(key, value));
+        self
+    }
+
+    /// Ends the span, emits it, and returns the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.done = true;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        span(self.scope, self.name, elapsed, &self.fields);
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            span(self.scope, self.name, elapsed, &self.fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorders::{NullRecorder, StatsRecorder};
+
+    #[test]
+    fn disabled_by_default_on_fresh_thread() {
+        std::thread::spawn(|| {
+            assert!(!active());
+            // Emitting while disabled is a no-op, not an error.
+            counter("t", "noop", 1, &[]);
+            event("t", "noop", &[]);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn with_local_scopes_and_restores() {
+        let stats = Arc::new(StatsRecorder::new());
+        let inner = Arc::new(StatsRecorder::new());
+        with_local(stats.clone(), || {
+            assert!(active());
+            counter("t", "a", 2, &[]);
+            // Nested local recorder shadows, then restores.
+            with_local(inner.clone(), || counter("t", "b", 1, &[]));
+            counter("t", "a", 3, &[]);
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.counter("t.a"), 5);
+        assert_eq!(snap.counter("t.b"), 0);
+        assert_eq!(inner.snapshot().counter("t.b"), 1);
+    }
+
+    #[test]
+    fn local_null_recorder_silences_thread() {
+        with_local(Arc::new(NullRecorder), || {
+            assert!(!active(), "NullRecorder must keep the fast path disabled");
+            counter("t", "silent", 1, &[]);
+        });
+    }
+
+    #[test]
+    fn span_guard_emits_on_finish_and_drop() {
+        let stats = Arc::new(StatsRecorder::new());
+        with_local(stats.clone(), || {
+            let s = SpanGuard::new("t", "explicit").with_field("k", 1u64);
+            let elapsed = s.finish();
+            assert!(elapsed >= 0.0);
+            {
+                let _implicit = SpanGuard::new("t", "dropped");
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.span_count("t.explicit"), 1);
+        assert_eq!(snap.span_count("t.dropped"), 1);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from("x"), Value::Str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn event_key_joins_scope_and_name() {
+        let ev = ObsEvent {
+            scope: "plan",
+            name: "stage.cover",
+            kind: Kind::Span,
+            value: Value::None,
+            fields: &[],
+        };
+        assert_eq!(ev.key(), "plan.stage.cover");
+    }
+}

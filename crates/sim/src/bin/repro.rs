@@ -1,14 +1,18 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|des|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|des|obs|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
 //! output directory (default `results/`). The `des` subcommand is a
 //! discrete-event-engine smoke benchmark: it runs a 3-charger fleet
 //! scenario on `bc-des` and writes `BENCH_des.json` (events/sec, replan
-//! count, fleet utilization) for the CI `des-smoke` artifact.
+//! count, fleet utilization) for the CI `des-smoke` artifact. The `obs`
+//! subcommand exercises the `bc-obs` tracing layer end to end — planner
+//! stages, executor rounds, and a DES run under a stats + JSONL recorder
+//! fanout — writing `BENCH_obs.json` and `obs_trace.jsonl` for the CI
+//! `obs-smoke` artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,7 +27,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|des|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
+                "usage: repro <check|des|obs|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -81,6 +85,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if which == "des" {
         return des_smoke(&exp, &out);
+    }
+
+    if which == "obs" {
+        return obs_smoke(&exp, &out);
     }
 
     type Job = (&'static str, fn(&ExpConfig) -> Vec<Table>);
@@ -163,11 +171,12 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
     let events_per_sec = report.events_processed as f64 / elapsed_s.max(1e-12); // cast-ok: event count into a rate
     eprintln!(
         "   {} events in {elapsed_s:.3} s ({events_per_sec:.0} events/s), \
-         {} rounds, {} replans, fleet {:.1}% utilized",
+         {} rounds, {} replans, fleet {:.1}% utilized, {} trace records dropped",
         report.events_processed,
         report.rounds,
         report.replans,
-        100.0 * report.fleet_utilization
+        100.0 * report.fleet_utilization,
+        report.trace_dropped
     );
 
     let ledgers: Vec<String> = report
@@ -196,7 +205,8 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
          \"events_per_sec\": {events_per_sec:.1},\n  \"rounds\": {rounds},\n  \
          \"replans\": {replans},\n  \"base_returns\": {base_returns},\n  \
          \"charger_energy_j\": {energy:.3},\n  \"fleet_utilization\": {util:.6},\n  \
-         \"sensors_ever_dead\": {dead},\n  \"fleet_ledgers\": [\n{ledgers}\n  ]\n}}\n",
+         \"sensors_ever_dead\": {dead},\n  \"trace_dropped\": {dropped},\n  \
+         \"fleet_ledgers\": [\n{ledgers}\n  ]\n}}\n",
         dispatch = scenario.fleet.dispatch.label(),
         horizon = scenario.horizon_s.get(),
         events = report.events_processed,
@@ -207,12 +217,124 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
         energy = report.charger_energy_j.get(),
         util = report.fleet_utilization,
         dead = report.sensors_ever_dead,
+        dropped = report.trace_dropped,
         ledgers = ledgers.join(",\n"),
     );
     std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
     let path = out.join("BENCH_des.json");
     std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("   wrote {}", path.display());
+    Ok(())
+}
+
+/// The `obs` subcommand: exercise the `bc-obs` layer end to end.
+///
+/// Installs a fanout of a [`StatsRecorder`] (aggregates) and a
+/// [`JsonlRecorder`] (event stream), then drives all three instrumented
+/// subsystems — the staged planner across every algorithm, the fault
+/// executor across several rounds, and a fleet scenario on the DES
+/// engine. The JSONL stream is validated line by line before anything is
+/// written, so a malformed trace fails this run rather than CI's
+/// artifact consumers. Writes `BENCH_obs.json` (per-stage wall time,
+/// event counts, histogram summaries) and `obs_trace.jsonl` into `out`.
+fn obs_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
+    use std::sync::Arc;
+
+    use bc_core::context::PlanContext;
+    use bc_core::planner::Algorithm;
+    use bc_core::{Executor, FaultModel, PlannerConfig, RecoveryPolicy};
+    use bc_des::{DispatchPolicy, Scenario};
+    use bc_geom::Aabb;
+    use bc_obs::recorders::{FanoutRecorder, JsonlRecorder, StatsRecorder};
+    use bc_obs::Recorder;
+    use bc_wsn::deploy;
+
+    const N: usize = 50;
+    const ROUNDS: u64 = 3;
+    let seed = exp.base_seed;
+    eprintln!(">> obs smoke: {N} sensors, planner + executor + des under fanout recorder, seed {seed}");
+
+    let stats = Arc::new(StatsRecorder::new());
+    let jsonl = Arc::new(JsonlRecorder::new(Vec::new()));
+    bc_obs::install(Arc::new(FanoutRecorder::new(vec![
+        Arc::clone(&stats) as Arc<dyn Recorder>,
+        Arc::clone(&jsonl) as Arc<dyn Recorder>,
+    ])));
+
+    let started = std::time::Instant::now();
+    let net = deploy::uniform(N, Aabb::square(250.0), 2.0, seed);
+    let cfg = PlannerConfig::paper_sim(25.0);
+
+    // Planner: every algorithm through the staged pipeline (stage spans,
+    // artifact-build counters, cache hit/miss fields).
+    let ctx = PlanContext::new(net.clone(), cfg.clone());
+    let mut bc_opt_plan = None;
+    for algo in Algorithm::ALL {
+        let staged = ctx
+            .plan(algo)
+            .map_err(|e| format!("planning {}: {e:?}", algo.name()))?;
+        if algo == Algorithm::BcOpt {
+            bc_opt_plan = Some(staged.plan);
+        }
+    }
+    let plan = bc_opt_plan.ok_or_else(|| "BC-OPT plan missing".to_owned())?;
+
+    // Executor: a few faulty rounds (per-stop events, dwell histogram,
+    // fault deaths, replans).
+    let executor = Executor::new(&net, &cfg).with_policy(RecoveryPolicy::ReplanRemaining);
+    for round in 0..ROUNDS {
+        let faults = FaultModel::with_rate(seed.wrapping_add(round), 0.05);
+        executor
+            .execute(&plan, &faults, round)
+            .map_err(|e| format!("executor round {round}: {e:?}"))?;
+    }
+
+    // DES: a 2-charger fleet scenario (run-loop event bridge,
+    // battery-generation invalidations, dispatch rounds).
+    let des_net = deploy::uniform(40, Aabb::square(250.0), 2.0, seed);
+    let scenario = Scenario::paper_sim(des_net, 25.0, Algorithm::BcOpt)
+        .with_fleet(2, DispatchPolicy::BundlePartition);
+    let des_report = bc_des::run(&scenario).map_err(|e| format!("des run: {e:?}"))?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    bc_obs::uninstall();
+    let jsonl = Arc::try_unwrap(jsonl)
+        .map_err(|_| "JSONL recorder still shared after uninstall".to_owned())?;
+    let trace = String::from_utf8(jsonl.into_inner())
+        .map_err(|e| format!("JSONL stream is not UTF-8: {e}"))?;
+    let jsonl_events = bc_obs::json::validate_jsonl(&trace)
+        .map_err(|(line, e)| format!("invalid JSONL trace at line {line}: {e}"))?;
+
+    let snapshot = stats.snapshot();
+    eprintln!(
+        "   {jsonl_events} events across {} series in {elapsed_s:.3} s \
+         ({} des events bridged, {} executor stops)",
+        snapshot.series_count(),
+        des_report.events_processed,
+        snapshot.event_count("exec.stop")
+    );
+
+    let bench = format!(
+        "{{\n  \"bench\": \"obs_smoke\",\n  \"n\": {N},\n  \"seed\": {seed},\n  \
+         \"rounds\": {ROUNDS},\n  \"elapsed_s\": {elapsed_s:.6},\n  \
+         \"jsonl_events\": {jsonl_events},\n  \"series\": {series},\n  \
+         \"des_events_processed\": {des_events},\n  \"stats\": {stats_json}}}\n",
+        series = snapshot.series_count(),
+        des_events = des_report.events_processed,
+        stats_json = snapshot.to_json(),
+    );
+    bc_obs::json::validate_line(bench.trim_end())
+        .map_err(|e| format!("BENCH_obs.json failed self-validation: {e}"))?;
+
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let trace_path = out.join("obs_trace.jsonl");
+    std::fs::write(&trace_path, &trace)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    eprintln!("   wrote {}", trace_path.display());
+    let bench_path = out.join("BENCH_obs.json");
+    std::fs::write(&bench_path, bench)
+        .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
+    eprintln!("   wrote {}", bench_path.display());
     Ok(())
 }
 

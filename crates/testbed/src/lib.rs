@@ -14,7 +14,7 @@
 //! * optional multiplicative noise perturbs each harvesting tick to mimic
 //!   measurement jitter, with a seeded RNG for reproducibility.
 //!
-//! The result is an [`ExecutionReport`] with the realized energy ledger
+//! The result is a [`RigReport`] with the realized energy ledger
 //! and each sensor's harvested energy, which the fig. 16 pipeline and the
 //! integration tests compare against the planner's predictions.
 //!
@@ -37,4 +37,6 @@ pub mod powercast;
 pub mod rig;
 
 pub use powercast::{office_network, p2110_harvest_power};
-pub use rig::{ExecutionReport, SensorLedger, TestbedRig};
+pub use rig::{RigReport, SensorLedger, TestbedRig};
+#[allow(deprecated)]
+pub use rig::ExecutionReport;

@@ -35,8 +35,12 @@ pub struct SensorLedger {
 }
 
 /// Result of executing a plan on the rig.
+///
+/// Previously named `ExecutionReport`, which collided with the unrelated
+/// `bc_core::execute::ExecutionReport`; the old name survives one release
+/// as a deprecated alias.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ExecutionReport {
+pub struct RigReport {
     /// Distance actually driven, including the return leg.
     pub driven_m: Meters,
     /// Wall-clock driving time.
@@ -51,7 +55,12 @@ pub struct ExecutionReport {
     pub sensors: Vec<SensorLedger>,
 }
 
-impl ExecutionReport {
+/// Deprecated alias for [`RigReport`], kept for one release to ease the
+/// rename away from the `bc_core::execute::ExecutionReport` collision.
+#[deprecated(since = "0.1.0", note = "renamed to RigReport")]
+pub type ExecutionReport = RigReport;
+
+impl RigReport {
     /// Total operating energy.
     pub fn total_energy_j(&self) -> Joules {
         self.move_energy_j + self.charge_energy_j
@@ -139,9 +148,9 @@ impl<'a> TestbedRig<'a> {
     }
 
     /// Executes a plan and returns the realized energy ledger.
-    pub fn execute(&self, plan: &ChargingPlan) -> ExecutionReport {
+    pub fn execute(&self, plan: &ChargingPlan) -> RigReport {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut report = ExecutionReport {
+        let mut report = RigReport {
             driven_m: Meters(0.0),
             drive_time_s: Seconds(0.0),
             charge_time_s: Seconds(0.0),
@@ -220,7 +229,7 @@ mod tests {
     use crate::powercast::office_network;
     use bc_core::planner;
 
-    fn plan_and_run(r: f64) -> (ExecutionReport, ChargingPlan) {
+    fn plan_and_run(r: f64) -> (RigReport, ChargingPlan) {
         let net = office_network();
         let cfg = PlannerConfig::paper_testbed(r);
         let plan = planner::bundle_charging(&net, &cfg);
@@ -296,7 +305,7 @@ mod tests {
             .execute(&plan);
         // Charger-side costs are identical; sensors only gain.
         assert_eq!(parked.total_energy_j(), moving.total_energy_j());
-        let sum = |r: &ExecutionReport| -> Joules { r.sensors.iter().map(|s| s.harvested_j).sum() };
+        let sum = |r: &RigReport| -> Joules { r.sensors.iter().map(|s| s.harvested_j).sum() };
         assert!(sum(&moving) > sum(&parked));
     }
 

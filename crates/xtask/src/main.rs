@@ -32,6 +32,10 @@
 //!    The engine's determinism argument rests on every timestamp flowing
 //!    through `des::clock` (`Time`, `seconds()`/`minutes()`/`hours()`);
 //!    a deliberate exception carries `// time-ok: <reason>`.
+//! 7. **Print diagnostics in library code** — `println!` / `eprintln!`
+//!    outside binary targets (`src/bin/`, `src/main.rs`). Diagnostics
+//!    route through `bc-obs` events so sinks decide what is shown; a
+//!    deliberate exception carries `// print-ok: <reason>`.
 //!
 //! Scope: `src/` trees of the root facade and every `crates/*` member
 //! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
@@ -106,6 +110,7 @@ enum Rule {
     LintTableDrift,
     ContextBypass,
     RawTime,
+    PrintBan,
 }
 
 impl fmt::Display for Violation {
@@ -132,6 +137,11 @@ impl fmt::Display for Violation {
                 "raw-time",
                 "route timestamps through des::clock (Time, seconds()/minutes()/hours()), \
                  or add `// time-ok: <reason>`",
+            ),
+            Rule::PrintBan => (
+                "print-ban",
+                "emit a bc-obs event instead of printing from library code, \
+                 or add `// print-ok: <reason>`",
             ),
         };
         write!(
@@ -175,6 +185,16 @@ const RAW_TIME_PATTERNS: [&str; 3] = ["Seconds(", "_s.0", "as_secs_f64"];
 /// except the clock module that owns the sanctioned conversions.
 fn raw_time_scope(label: &str) -> bool {
     label.contains("crates/des/") && !label.ends_with("clock.rs")
+}
+
+/// Print diagnostics banned from library code (`eprintln!` contains
+/// `println!`, so one pattern covers both; kept separate for clarity).
+const PRINT_PATTERNS: [&str; 2] = ["println!", "eprintln!"];
+
+/// Binary targets may print — that is their user interface. Everything
+/// else routes diagnostics through `bc-obs`.
+fn print_exempt(label: &str) -> bool {
+    label.contains("/bin/") || label.ends_with("main.rs")
 }
 
 /// Suffixes that mark a field as a physical quantity (matching the
@@ -240,6 +260,18 @@ fn scan_source(label: &str, text: &str) -> Vec<Violation> {
                 file: label.to_string(),
                 line: lineno,
                 rule: Rule::RawTime,
+                excerpt: line.to_string(),
+            });
+        }
+
+        if !print_exempt(label)
+            && !line.contains("print-ok:")
+            && PRINT_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            out.push(Violation {
+                file: label.to_string(),
+                line: lineno,
+                rule: Rule::PrintBan,
                 excerpt: line.to_string(),
             });
         }
@@ -531,6 +563,22 @@ mod tests {
         assert!(scan_source("crates/des/src/engine.rs", marked).is_empty());
         let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { t(Seconds(1.0)); }\n}\n";
         assert!(scan_source("crates/des/src/engine.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn prints_flagged_in_library_code_only() {
+        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+        let v = scan_source("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::PrintBan));
+        // Binary targets are the user interface and may print.
+        assert!(scan_source("crates/sim/src/bin/repro.rs", src).is_empty());
+        assert!(scan_source("crates/xtask/src/main.rs", src).is_empty());
+        // Markers and test modules are exempt like every other rule.
+        let marked = "fn f() { eprintln!(\"x\"); // print-ok: fatal-path diagnostics\n}\n";
+        assert!(scan_source("crates/core/src/x.rs", marked).is_empty());
+        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"t\"); }\n}\n";
+        assert!(scan_source("crates/core/src/x.rs", test_only).is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`setcover`] | `bc-setcover` | greedy (`ln n + 1`) and exact set cover |
 //! | [`wpt`] | `bc-wpt` | the quadratic charging model (Eq. 1) and charger energy accounting |
 //! | [`wsn`] | `bc-wsn` | sensors, deployments, spatial index |
+//! | [`obs`] | `bc-obs` | structured tracing & metrics: recorder trait, stats/JSONL sinks, zero-cost disabled path |
 //! | [`core`] | `bc-core` | bundle generation (OBG) and the SC / CSS / BC / BC-OPT planners (BTO) |
 //! | [`des`] | `bc-des` | deterministic discrete-event simulation engine: event queue, logical clock, multi-charger fleets, threshold-triggered replanning |
 //! | [`sim`] | `bc-sim` | the per-figure experiment harness |
@@ -48,6 +49,7 @@
 pub use bc_core as core;
 pub use bc_des as des;
 pub use bc_geom as geom;
+pub use bc_obs as obs;
 pub use bc_setcover as setcover;
 pub use bc_sim as sim;
 pub use bc_testbed as testbed;
