@@ -1,0 +1,193 @@
+//! `serve_load` — deterministic load generator / chaos harness for
+//! `bc-serve`, producing the CI `serve-smoke` artifact.
+//!
+//! ```text
+//! serve_load [--seed S] [--chaos] [--clients N] [--requests N]
+//!            [--out FILE] [--trace FILE]
+//! ```
+//!
+//! Drives a [`bc_serve::PlanService`] with the seeded request mix from
+//! [`bc_serve::loadgen`] — by default the fault-free smoke profile;
+//! with `--chaos` the combined stall + transient-failure + panic +
+//! overload preset — under a `bc-obs` stats/JSONL fanout recorder.
+//! Writes:
+//!
+//! * `BENCH_serve.json` (default): p50/p99/max latency, throughput,
+//!   shed/degrade/deadline rates, retry/panic/rebuild counters, and
+//!   the obs stats snapshot;
+//! * `serve_trace.jsonl` (default): the raw obs event stream, self-
+//!   validated here and re-validated independently in CI.
+//!
+//! The run **fails** (nonzero exit) if any availability invariant is
+//! violated: a lost response, a poisoned cache entry left behind, an
+//! invalid plan, or an unbounded worst-case latency.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bc_obs::recorders::{FanoutRecorder, JsonlRecorder, StatsRecorder};
+use bc_obs::Recorder;
+use bc_serve::{loadgen, LoadProfile};
+
+/// Worst-case per-request latency the harness tolerates before calling
+/// the service unavailable. Generous: covers one non-interruptible
+/// BC-OPT stage overshooting the deadline plus full retry backoff.
+const MAX_LATENCY_MS: f64 = 5_000.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: serve_load [--seed S] [--chaos] [--clients N] [--requests N] \
+                 [--out FILE] [--trace FILE]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut seed = 42u64;
+    let mut chaos = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut trace_path = PathBuf::from("serve_trace.jsonl");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => seed = parse_next(args, &mut i)?,
+            "--chaos" => chaos = true,
+            "--clients" => clients = Some(parse_next(args, &mut i)?),
+            "--requests" => requests = Some(parse_next(args, &mut i)?),
+            "--out" => out = PathBuf::from(next_value(args, &mut i)?),
+            "--trace" => trace_path = PathBuf::from(next_value(args, &mut i)?),
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+        i += 1;
+    }
+
+    let mut profile = if chaos {
+        LoadProfile::chaos(seed)
+    } else {
+        LoadProfile::smoke(seed)
+    };
+    if let Some(c) = clients {
+        profile.clients = c;
+    }
+    if let Some(r) = requests {
+        profile.requests_per_client = r;
+    }
+
+    eprintln!(
+        ">> serve load: seed {seed}, chaos {chaos}, {} clients x {} requests, \
+         {} workers, queue {}",
+        profile.clients,
+        profile.requests_per_client,
+        profile.serve.workers,
+        profile.serve.queue_capacity,
+    );
+
+    let stats = Arc::new(StatsRecorder::new());
+    let jsonl = Arc::new(JsonlRecorder::new(Vec::new()));
+    bc_obs::install(Arc::new(FanoutRecorder::new(vec![
+        Arc::clone(&stats) as Arc<dyn Recorder>,
+        Arc::clone(&jsonl) as Arc<dyn Recorder>,
+    ])));
+    let report = loadgen::run(&profile);
+    bc_obs::uninstall();
+    let report = report.map_err(|e| format!("load run: {e}"))?;
+
+    let jsonl = Arc::try_unwrap(jsonl)
+        .map_err(|_| "JSONL recorder still shared after uninstall".to_owned())?;
+    let trace = String::from_utf8(jsonl.into_inner())
+        .map_err(|e| format!("JSONL stream is not UTF-8: {e}"))?;
+    let jsonl_events = bc_obs::json::validate_jsonl(&trace)
+        .map_err(|(line, e)| format!("invalid JSONL trace at line {line}: {e}"))?;
+
+    eprintln!(
+        "   {} responses in {:.3} s ({:.0} rps): {} full, {} degraded, {} shed, \
+         {} deadline, {} failed",
+        report.responses_seen,
+        report.elapsed_s,
+        report.throughput_rps,
+        report.ok_full,
+        report.ok_degraded,
+        report.shed,
+        report.deadline,
+        report.failed,
+    );
+    eprintln!(
+        "   latency p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms; {} retries, \
+         {} panics caught, {} rebuilds, {} dedup hits, {jsonl_events} obs events",
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.latency.max_ms,
+        report.stats.retries,
+        report.stats.panics_caught,
+        report.rebuilds,
+        report.stats.dedup_hits,
+    );
+
+    // Availability invariants — the point of the harness.
+    if report.lost_responses != 0 {
+        return Err(format!("{} responses lost", report.lost_responses));
+    }
+    if report.poisoned_entries != 0 {
+        return Err(format!(
+            "{} cache entries left poisoned after drain",
+            report.poisoned_entries
+        ));
+    }
+    if report.invalid_plans != 0 {
+        return Err(format!("{} invalid plans delivered", report.invalid_plans));
+    }
+    if report.latency.max_ms > MAX_LATENCY_MS {
+        return Err(format!(
+            "worst-case latency {:.1} ms exceeds the {MAX_LATENCY_MS:.0} ms availability bound",
+            report.latency.max_ms
+        ));
+    }
+    if chaos && report.stats.panics_caught == 0 {
+        return Err("chaos run injected no panics — the harness is not exercising recovery".into());
+    }
+
+    // Splice the obs figures into the report object so one artifact
+    // carries both service-side and recorder-side views.
+    let mut bench = report.to_json();
+    bench.truncate(bench.len() - 1);
+    bench.push_str(&format!(
+        ",\"jsonl_events\":{jsonl_events},\"obs\":{}}}\n",
+        stats.snapshot().to_json()
+    ));
+    bc_obs::json::validate_line(bench.trim_end())
+        .map_err(|e| format!("BENCH_serve.json failed self-validation: {e}"))?;
+
+    std::fs::write(&trace_path, &trace)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    eprintln!("   wrote {}", trace_path.display());
+    std::fs::write(&out, bench).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("   wrote {}", out.display());
+    Ok(())
+}
+
+fn next_value<'a>(args: &'a [String], i: &mut usize) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+}
+
+fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let flag = args[*i].clone();
+    next_value(args, i)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}

@@ -52,9 +52,9 @@
 //! ```
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bc_tsp::DistanceMatrix;
 use bc_units::{Joules, Seconds};
@@ -207,6 +207,129 @@ impl StagedPlan {
     /// Unwraps the plan, discarding the timings.
     pub fn into_plan(self) -> ChargingPlan {
         self.plan
+    }
+}
+
+/// A cooperative cancellation budget for one pipeline run.
+///
+/// [`PlanContext::plan_budgeted`] consults the budget *between* stages —
+/// never inside one — so cancellation can only ever cut a pipeline at a
+/// stage boundary, where the working state is either a complete,
+/// contract-valid plan (the Order stage has run) or no plan at all.
+/// That is the invariant the serving layer's degradation ladder rests
+/// on: a deadline can shorten a BC-OPT run to its BC prefix, but can
+/// never surface a half-tightened tour.
+///
+/// Three exhaustion sources compose (any one trips the budget):
+///
+/// * a wall-clock **deadline** ([`StageBudget::with_deadline`] /
+///   [`StageBudget::with_timeout`]) — the production path;
+/// * a shared **cancel flag** ([`StageBudget::with_cancel_flag`]) — for
+///   external cancellation (shutdown, client gone);
+/// * a deterministic **check countdown** ([`StageBudget::after_checks`])
+///   — exhausts after a fixed number of boundary checks, so tests can
+///   cut a pipeline at an exact stage without racing a clock.
+///
+/// The default budget ([`StageBudget::none`]) never exhausts.
+#[derive(Debug, Clone, Default)]
+pub struct StageBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    checks_left: Option<Arc<AtomicUsize>>,
+}
+
+impl StageBudget {
+    /// A budget that never exhausts: `plan_budgeted` behaves like
+    /// [`PlanContext::plan`].
+    pub fn none() -> Self {
+        StageBudget::default()
+    }
+
+    /// Exhausts once `deadline` passes (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Exhausts `timeout` from now (builder style).
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Exhausts when `flag` is set (builder style). The flag is shared:
+    /// the caller keeps a clone and may set it from any thread.
+    #[must_use]
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// A deterministic budget that reports exhausted on the `n+1`-th
+    /// boundary check: exactly `n` stages run, independent of wall
+    /// clock. Intended for tests of the degradation path.
+    #[must_use]
+    pub fn after_checks(n: usize) -> Self {
+        StageBudget {
+            checks_left: Some(Arc::new(AtomicUsize::new(n))),
+            ..StageBudget::default()
+        }
+    }
+
+    /// The wall-clock deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the budget is spent. Deadline and cancel-flag checks are
+    /// pure reads; the check countdown consumes one check per call.
+    pub fn exhausted(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Acquire) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        if let Some(left) = &self.checks_left {
+            let spent = left
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+                .is_err();
+            if spent {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of a budgeted pipeline run ([`PlanContext::plan_budgeted`]).
+///
+/// `plan` is `Some` whenever the pipeline got through its Order stage
+/// before the budget exhausted — such a plan is complete and passes the
+/// full planner contract set even when later improvement stages were
+/// skipped (a BC-OPT run cut before Tighten is exactly a BC plan). It is
+/// `None` when the budget cut the run before a tour existed.
+#[derive(Debug, Clone)]
+pub struct BudgetedPlan {
+    /// The best complete plan the pipeline produced, if any.
+    pub plan: Option<StagedPlan>,
+    /// Whether every stage of the algorithm's pipeline ran.
+    pub completed: bool,
+    /// How many stages ran before the budget cut the pipeline.
+    pub stages_run: usize,
+    /// How many stages the algorithm's pipeline has in total.
+    pub stages_total: usize,
+}
+
+impl BudgetedPlan {
+    /// Number of pipeline stages the budget cut off.
+    pub fn stages_skipped(&self) -> usize {
+        self.stages_total - self.stages_run
     }
 }
 
@@ -620,15 +743,49 @@ impl PlanContext {
     /// * [`PlanError::InvalidDemand`] when some sensor's demand is
     ///   negative or not finite.
     pub fn plan(&self, algo: Algorithm) -> Result<StagedPlan, PlanError> {
+        self.validate_inputs()?;
+        let staged = self.run_stages(algo);
+        crate::contracts::debug_assert_plan(&staged.plan, &self.net, &self.cfg);
+        Ok(staged)
+    }
+
+    /// Runs the algorithm's stage pipeline under a cooperative
+    /// cancellation budget, checked between stages (see [`StageBudget`]).
+    ///
+    /// An exhausted budget stops the pipeline at the next stage boundary.
+    /// The returned [`BudgetedPlan`] carries a plan whenever the Order
+    /// stage got to run — complete and contract-checked even when later
+    /// improvement stages were cut — and `None` otherwise. With
+    /// [`StageBudget::none`] this is exactly [`PlanContext::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanContext::plan`]. Budget exhaustion is *not* an
+    /// error: it is reported through [`BudgetedPlan::completed`].
+    pub fn plan_budgeted(
+        &self,
+        algo: Algorithm,
+        budget: &StageBudget,
+    ) -> Result<BudgetedPlan, PlanError> {
+        self.validate_inputs()?;
+        let out = self.run_stages_budgeted(algo, Some(budget));
+        if let Some(staged) = &out.plan {
+            crate::contracts::debug_assert_plan(&staged.plan, &self.net, &self.cfg);
+        }
+        Ok(out)
+    }
+
+    /// Input validation shared by [`PlanContext::plan`] and
+    /// [`PlanContext::plan_budgeted`] (same contract as the legacy
+    /// `try_run`).
+    fn validate_inputs(&self) -> Result<(), PlanError> {
         self.cfg.validate()?;
         for s in self.net.sensors() {
             if !s.demand.is_finite() || s.demand < Joules(0.0) {
                 return Err(PlanError::InvalidDemand { value: s.demand });
             }
         }
-        let staged = self.run_stages(algo);
-        crate::contracts::debug_assert_plan(&staged.plan, &self.net, &self.cfg);
-        Ok(staged)
+        Ok(())
     }
 
     /// Runs the stage pipeline, timing each stage exactly once: the same
@@ -636,9 +793,45 @@ impl PlanContext {
     /// `bc_obs` span, so the public timing type is a *view over* the
     /// event stream, never a second clock.
     fn run_stages(&self, algo: Algorithm) -> StagedPlan {
+        let out = self.run_stages_budgeted(algo, None);
+        match out.plan {
+            Some(staged) => staged,
+            // Unreachable for the four shipped pipelines (all end with a
+            // plan and an unbudgeted run cannot be cut), kept total.
+            None => StagedPlan {
+                plan: ChargingPlan::new(Vec::new(), self.net.len()),
+                timings: StageTimings::default(),
+            },
+        }
+    }
+
+    /// Budget-aware pipeline core: `budget = None` runs every stage
+    /// (the [`PlanContext::plan`] path, byte-identical to the historical
+    /// behaviour); `Some` checks [`StageBudget::exhausted`] before each
+    /// stage and stops at the first exhausted boundary.
+    fn run_stages_budgeted(&self, algo: Algorithm, budget: Option<&StageBudget>) -> BudgetedPlan {
+        let stages = stages_for(algo);
+        let stages_total = stages.len();
+        let mut stages_run = 0usize;
         let mut state = StageState::default();
         let mut timings = StageTimings::default();
-        for stage in stages_for(algo) {
+        for stage in stages {
+            if let Some(b) = budget {
+                if b.exhausted() {
+                    if bc_obs::active() {
+                        bc_obs::event(
+                            "plan",
+                            "budget.exhausted",
+                            &[
+                                bc_obs::Field::new("algo", algo.name()),
+                                bc_obs::Field::new("next_stage", stage.kind().span_name()),
+                                bc_obs::Field::new("stages_run", stages_run),
+                            ],
+                        );
+                    }
+                    break;
+                }
+            }
             let builds_before = self.counters.total_builds();
             let t0 = Instant::now();
             stage.run(self, &mut state);
@@ -669,12 +862,27 @@ impl PlanContext {
                     ],
                 );
             }
+            stages_run += 1;
         }
-        let plan = state
-            .plan
-            .take()
-            .unwrap_or_else(|| ChargingPlan::new(std::mem::take(&mut state.stops), self.net.len()));
-        StagedPlan { plan, timings }
+        let completed = stages_run == stages_total;
+        let plan = match state.plan.take() {
+            Some(plan) => Some(StagedPlan { plan, timings }),
+            // The historical fallback: a pipeline that ran to the end
+            // without an Order stage yields its bare stops. A *cut*
+            // pipeline must not — unordered leftovers are not "the best
+            // plan completed so far".
+            None if completed => Some(StagedPlan {
+                plan: ChargingPlan::new(std::mem::take(&mut state.stops), self.net.len()),
+                timings,
+            }),
+            None => None,
+        };
+        BudgetedPlan {
+            plan,
+            completed,
+            stages_run,
+            stages_total,
+        }
     }
 }
 
@@ -737,6 +945,20 @@ impl ContextCache {
     /// Same as [`PlanContext::plan`].
     pub fn plan(&self, algo: Algorithm) -> Result<StagedPlan, PlanError> {
         self.ctx.plan(algo)
+    }
+
+    /// Plans with the current revision's context under a cooperative
+    /// cancellation budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanContext::plan_budgeted`].
+    pub fn plan_budgeted(
+        &self,
+        algo: Algorithm,
+        budget: &StageBudget,
+    ) -> Result<BudgetedPlan, PlanError> {
+        self.ctx.plan_budgeted(algo, budget)
     }
 
     /// Removes a sensor ([`crate::replan::remove_sensor`]) and installs
@@ -898,6 +1120,82 @@ mod tests {
         // A fresh plan on the new revision rebuilds the family once more.
         let _ = cache.plan(Algorithm::Bc).unwrap();
         assert_eq!(cache.counters().candidate_builds(), 2);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plan() {
+        let ctx = ctx(40, 25.0, 5);
+        for algo in Algorithm::ALL {
+            let budgeted = ctx.plan_budgeted(algo, &StageBudget::none()).unwrap();
+            assert!(budgeted.completed, "{algo}");
+            assert_eq!(budgeted.stages_run, budgeted.stages_total);
+            assert_eq!(budgeted.stages_skipped(), 0);
+            let plan = budgeted.plan.expect("complete run yields a plan").plan;
+            assert_eq!(plan, ctx.plan(algo).unwrap().plan, "{algo}");
+        }
+    }
+
+    #[test]
+    fn budget_cut_bc_opt_degrades_to_exact_bc_plan() {
+        let ctx = ctx(45, 25.0, 7);
+        // BC-OPT's pipeline is Candidates, Cover, Order, Tighten; a
+        // budget of three checks cuts exactly the Tighten stage.
+        let cut = ctx
+            .plan_budgeted(Algorithm::BcOpt, &StageBudget::after_checks(3))
+            .unwrap();
+        assert!(!cut.completed);
+        assert_eq!(cut.stages_run, 3);
+        assert_eq!(cut.stages_total, 4);
+        let degraded = cut.plan.expect("order stage ran, so a plan exists").plan;
+        assert_eq!(degraded, ctx.plan(Algorithm::Bc).unwrap().plan);
+    }
+
+    #[test]
+    fn budget_cut_before_order_yields_no_plan() {
+        let ctx = ctx(30, 20.0, 2);
+        for checks in [0usize, 1, 2] {
+            let cut = ctx
+                .plan_budgeted(Algorithm::BcOpt, &StageBudget::after_checks(checks))
+                .unwrap();
+            assert!(!cut.completed);
+            assert_eq!(cut.stages_run, checks);
+            assert!(cut.plan.is_none(), "no tour exists after {checks} stages");
+        }
+    }
+
+    #[test]
+    fn cancel_flag_and_past_deadline_cut_immediately() {
+        use std::sync::atomic::AtomicBool;
+
+        let ctx = ctx(20, 20.0, 3);
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled = StageBudget::none().with_cancel_flag(Arc::clone(&flag));
+        let out = ctx.plan_budgeted(Algorithm::Bc, &cancelled).unwrap();
+        assert_eq!(out.stages_run, 0);
+        assert!(out.plan.is_none());
+
+        let expired = StageBudget::none().with_timeout(Duration::ZERO);
+        assert!(expired.deadline().is_some());
+        let out = ctx.plan_budgeted(Algorithm::Sc, &expired).unwrap();
+        assert_eq!(out.stages_run, 0);
+
+        // An unset flag and a generous deadline do not interfere.
+        flag.store(false, Ordering::Release);
+        let roomy = StageBudget::none()
+            .with_cancel_flag(flag)
+            .with_timeout(Duration::from_secs(3600));
+        let out = ctx.plan_budgeted(Algorithm::Bc, &roomy).unwrap();
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn budgeted_validation_errors_still_surface() {
+        let net = deploy::uniform(5, Aabb::square(100.0), 2.0, 1);
+        let ctx = PlanContext::new(net, PlannerConfig::paper_sim(f64::NAN));
+        assert!(matches!(
+            ctx.plan_budgeted(Algorithm::Bc, &StageBudget::none()),
+            Err(PlanError::Config(_))
+        ));
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use bundle::ChargingBundle;
 pub use candidates::{Candidate, CandidateFamily};
 pub use config::{ConfigError, DwellPolicy, PlannerConfig};
 pub use context::{
-    BuildCounters, ContextCache, PlanContext, PlanStage, StageKind, StageState, StageTimings,
-    StagedPlan,
+    BudgetedPlan, BuildCounters, ContextCache, PlanContext, PlanStage, StageBudget, StageKind,
+    StageState, StageTimings, StagedPlan,
 };
 pub use contracts::ContractViolation;
 pub use execute::{ExecError, ExecutedStop, ExecutionReport, Executor, RecoveryPolicy};

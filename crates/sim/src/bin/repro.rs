@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|des|obs|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|des|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
@@ -12,7 +12,10 @@
 //! subcommand exercises the `bc-obs` tracing layer end to end — planner
 //! stages, executor rounds, and a DES run under a stats + JSONL recorder
 //! fanout — writing `BENCH_obs.json` and `obs_trace.jsonl` for the CI
-//! `obs-smoke` artifact.
+//! `obs-smoke` artifact. The `serve` subcommand runs the `bc-serve`
+//! chaos harness — seeded stall/failure/panic injection at saturating
+//! load — writing `BENCH_serve.json` and `serve_trace.jsonl` for the CI
+//! `serve-smoke` artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,7 +30,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|des|obs|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
+                "usage: repro <check|des|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -89,6 +92,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if which == "obs" {
         return obs_smoke(&exp, &out);
+    }
+
+    if which == "serve" {
+        return serve_smoke(&exp, &out);
     }
 
     type Job = (&'static str, fn(&ExpConfig) -> Vec<Table>);
@@ -332,6 +339,79 @@ fn obs_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
         .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
     eprintln!("   wrote {}", trace_path.display());
     let bench_path = out.join("BENCH_obs.json");
+    std::fs::write(&bench_path, bench)
+        .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
+    eprintln!("   wrote {}", bench_path.display());
+    Ok(())
+}
+
+fn serve_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
+    use std::sync::Arc;
+
+    use bc_obs::recorders::{FanoutRecorder, JsonlRecorder, StatsRecorder};
+    use bc_obs::Recorder;
+    use bc_serve::{loadgen, LoadProfile};
+
+    let seed = exp.base_seed;
+    let profile = LoadProfile::chaos(seed);
+    eprintln!(
+        ">> serve chaos smoke: seed {seed}, {} clients x {} requests, \
+         stall/fail/panic injection + {}-slot queue",
+        profile.clients, profile.requests_per_client, profile.serve.queue_capacity
+    );
+
+    let stats = Arc::new(StatsRecorder::new());
+    let jsonl = Arc::new(JsonlRecorder::new(Vec::new()));
+    bc_obs::install(Arc::new(FanoutRecorder::new(vec![
+        Arc::clone(&stats) as Arc<dyn Recorder>,
+        Arc::clone(&jsonl) as Arc<dyn Recorder>,
+    ])));
+    let report = loadgen::run(&profile);
+    bc_obs::uninstall();
+    let report = report.map_err(|e| format!("serve load run: {e}"))?;
+
+    let jsonl = Arc::try_unwrap(jsonl)
+        .map_err(|_| "JSONL recorder still shared after uninstall".to_owned())?;
+    let trace = String::from_utf8(jsonl.into_inner())
+        .map_err(|e| format!("JSONL stream is not UTF-8: {e}"))?;
+    let jsonl_events = bc_obs::json::validate_jsonl(&trace)
+        .map_err(|(line, e)| format!("invalid JSONL trace at line {line}: {e}"))?;
+
+    eprintln!(
+        "   {} responses: {} full, {} degraded, {} shed, {} deadline, {} failed; \
+         {} panics caught, {} rebuilds; p99 {:.1} ms",
+        report.responses_seen,
+        report.ok_full,
+        report.ok_degraded,
+        report.shed,
+        report.deadline,
+        report.failed,
+        report.stats.panics_caught,
+        report.rebuilds,
+        report.latency.p99_ms,
+    );
+    if !report.invariants_hold() {
+        return Err(format!(
+            "availability invariants violated: {} lost, {} poisoned, {} invalid plans",
+            report.lost_responses, report.poisoned_entries, report.invalid_plans
+        ));
+    }
+
+    let mut bench = report.to_json();
+    bench.truncate(bench.len() - 1);
+    bench.push_str(&format!(
+        ",\"jsonl_events\":{jsonl_events},\"obs\":{}}}\n",
+        stats.snapshot().to_json()
+    ));
+    bc_obs::json::validate_line(bench.trim_end())
+        .map_err(|e| format!("BENCH_serve.json failed self-validation: {e}"))?;
+
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let trace_path = out.join("serve_trace.jsonl");
+    std::fs::write(&trace_path, &trace)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    eprintln!("   wrote {}", trace_path.display());
+    let bench_path = out.join("BENCH_serve.json");
     std::fs::write(&bench_path, bench)
         .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
     eprintln!("   wrote {}", bench_path.display());

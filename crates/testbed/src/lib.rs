@@ -38,5 +38,3 @@ pub mod rig;
 
 pub use powercast::{office_network, p2110_harvest_power};
 pub use rig::{RigReport, SensorLedger, TestbedRig};
-#[allow(deprecated)]
-pub use rig::ExecutionReport;

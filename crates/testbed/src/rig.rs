@@ -37,8 +37,8 @@ pub struct SensorLedger {
 /// Result of executing a plan on the rig.
 ///
 /// Previously named `ExecutionReport`, which collided with the unrelated
-/// `bc_core::execute::ExecutionReport`; the old name survives one release
-/// as a deprecated alias.
+/// `bc_core::execute::ExecutionReport`; the deprecated alias has since
+/// been removed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RigReport {
     /// Distance actually driven, including the return leg.
@@ -54,11 +54,6 @@ pub struct RigReport {
     /// Per-sensor energy ledgers, indexed like the network.
     pub sensors: Vec<SensorLedger>,
 }
-
-/// Deprecated alias for [`RigReport`], kept for one release to ease the
-/// rename away from the `bc_core::execute::ExecutionReport` collision.
-#[deprecated(since = "0.1.0", note = "renamed to RigReport")]
-pub type ExecutionReport = RigReport;
 
 impl RigReport {
     /// Total operating energy.

@@ -36,6 +36,12 @@
 //!    outside binary targets (`src/bin/`, `src/main.rs`). Diagnostics
 //!    route through `bc-obs` events so sinks decide what is shown; a
 //!    deliberate exception carries `// print-ok: <reason>`.
+//! 8. **Naked lock acquisition** — `.lock().unwrap()` (and the
+//!    `.expect(` / RwLock `.read()` / `.write()` variants) in library
+//!    code. A panicking waiter turns one caught panic into a poisoned
+//!    lock that wedges every later request; recovery must be explicit
+//!    via `bc_serve::sync::{lock_recover, read_recover, write_recover}`
+//!    or carry a `// lock-ok: <reason>` marker.
 //!
 //! Scope: `src/` trees of the root facade and every `crates/*` member
 //! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
@@ -111,6 +117,7 @@ enum Rule {
     ContextBypass,
     RawTime,
     PrintBan,
+    NakedLock,
 }
 
 impl fmt::Display for Violation {
@@ -142,6 +149,11 @@ impl fmt::Display for Violation {
                 "print-ban",
                 "emit a bc-obs event instead of printing from library code, \
                  or add `// print-ok: <reason>`",
+            ),
+            Rule::NakedLock => (
+                "naked-lock",
+                "recover from poisoning via bc_serve::sync::{lock,read,write}_recover, \
+                 or add `// lock-ok: <reason>`",
             ),
         };
         write!(
@@ -197,6 +209,18 @@ fn print_exempt(label: &str) -> bool {
     label.contains("/bin/") || label.ends_with("main.rs")
 }
 
+/// Lock acquisitions that panic on poison. A worker panic would then
+/// cascade into every later waiter; library code recovers explicitly
+/// through `bc_serve::sync` instead.
+const NAKED_LOCK_PATTERNS: [&str; 6] = [
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".write().unwrap()",
+    ".write().expect(",
+];
+
 /// Suffixes that mark a field as a physical quantity (matching the
 /// `bc-units` catalog: Joules, Seconds, Meters, Meters2, Watts,
 /// MetersPerSecond, JoulesPerMeter).
@@ -231,7 +255,19 @@ fn scan_source(label: &str, text: &str) -> Vec<Violation> {
             });
         }
 
-        if line.contains(".unwrap()") || line.contains(".expect(") {
+        // The naked-lock rule takes precedence over the generic
+        // panicking-extractor rule on lock lines: the fix is different
+        // (poison recovery, not error returns), so the hint must be too.
+        if NAKED_LOCK_PATTERNS.iter().any(|p| line.contains(p)) {
+            if !line.contains("lock-ok:") {
+                out.push(Violation {
+                    file: label.to_string(),
+                    line: lineno,
+                    rule: Rule::NakedLock,
+                    excerpt: line.to_string(),
+                });
+            }
+        } else if line.contains(".unwrap()") || line.contains(".expect(") {
             out.push(Violation {
                 file: label.to_string(),
                 line: lineno,
@@ -579,6 +615,31 @@ mod tests {
         assert!(scan_source("crates/core/src/x.rs", marked).is_empty());
         let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"t\"); }\n}\n";
         assert!(scan_source("crates/core/src/x.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn naked_locks_flagged_over_generic_extractor() {
+        let src = "fn f() {\n    let a = m.lock().unwrap();\n    let b = rw.read().unwrap();\n    let c = rw.write().expect(\"w\");\n}\n";
+        let v = scan_source("crates/serve/src/x.rs", src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == Rule::NakedLock));
+        // Recovery helpers and non-lock unwraps are untouched by this rule.
+        let recovered = "fn f() { let g = lock_recover(&m); }\n";
+        assert!(scan_source("crates/serve/src/x.rs", recovered).is_empty());
+        let plain = "fn f() { g().unwrap(); }\n";
+        assert_eq!(
+            scan_source("crates/serve/src/x.rs", plain)[0].rule,
+            Rule::PanickingExtractor
+        );
+    }
+
+    #[test]
+    fn naked_lock_marker_and_test_code_pass() {
+        let marked = "fn f() { let g = m.lock().unwrap(); // lock-ok: single-threaded setup\n}\n";
+        assert!(scan_source("crates/serve/src/x.rs", marked).is_empty());
+        let test_only =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { m.lock().unwrap(); }\n}\n";
+        assert!(scan_source("crates/serve/src/x.rs", test_only).is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`obs`] | `bc-obs` | structured tracing & metrics: recorder trait, stats/JSONL sinks, zero-cost disabled path |
 //! | [`core`] | `bc-core` | bundle generation (OBG) and the SC / CSS / BC / BC-OPT planners (BTO) |
 //! | [`des`] | `bc-des` | deterministic discrete-event simulation engine: event queue, logical clock, multi-charger fleets, threshold-triggered replanning |
+//! | [`serve`] | `bc-serve` | deadline-aware planning service: degradation ladder, retries with backoff, panic isolation, admission control |
 //! | [`sim`] | `bc-sim` | the per-figure experiment harness |
 //! | [`testbed`] | `bc-testbed` | the simulated robot-car Powercast testbed |
 //!
@@ -50,6 +51,7 @@ pub use bc_core as core;
 pub use bc_des as des;
 pub use bc_geom as geom;
 pub use bc_obs as obs;
+pub use bc_serve as serve;
 pub use bc_setcover as setcover;
 pub use bc_sim as sim;
 pub use bc_testbed as testbed;
@@ -67,6 +69,7 @@ pub mod prelude {
         RecoveryPolicy, Stop,
     };
     pub use bc_geom::{Aabb, Disk, Point};
+    pub use bc_serve::{PlanRequest, PlanService, ServeConfig, ServeError};
     pub use bc_units::{Joules, JoulesPerMeter, Meters, MetersPerSecond, Seconds, Watts};
     pub use bc_wpt::{ChargingModel, EnergyModel};
     pub use bc_wsn::{deploy, Network, Sensor, SensorId};

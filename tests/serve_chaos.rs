@@ -1,0 +1,80 @@
+//! Chaos acceptance test for `bc-serve`: the service must stay
+//! available — every request answered exactly once with a typed
+//! outcome, no poisoned cache entries, no contract-invalid plans —
+//! under combined stall + transient-failure + panic + overload
+//! injection. This is the acceptance criterion the `serve-smoke` CI job
+//! re-proves at full scale with the release-mode load generator; here a
+//! reduced profile keeps dev-profile wall time in check while every
+//! injector still fires.
+
+use std::time::Duration;
+
+use bundle_charging::serve::{loadgen, LoadProfile, RetryPolicy, ServeConfig, ServeFaultModel};
+
+/// A dev-profile chaos preset: all four injectors on, offered
+/// concurrency well above worker + queue capacity, deadlines tight
+/// against the dev-mode build time.
+fn dev_chaos(seed: u64) -> LoadProfile {
+    let mut p = LoadProfile::smoke(seed);
+    p.networks = 2;
+    p.sensors = 40;
+    p.clients = 8;
+    p.requests_per_client = 8;
+    p.timeout = Some(Duration::from_millis(80));
+    p.replan_every = 5;
+    p.serve = ServeConfig {
+        workers: 2,
+        queue_capacity: 3,
+        retry: RetryPolicy::default(),
+        default_timeout: None,
+        faults: ServeFaultModel {
+            seed,
+            stall_prob: 0.25,
+            stall_ms_max: 20,
+            fail_prob: 0.25,
+            panic_prob: 0.25,
+        },
+    };
+    p
+}
+
+#[test]
+fn service_stays_available_under_combined_chaos() {
+    for seed in [7u64, 42] {
+        let report = loadgen::run(&dev_chaos(seed)).expect("profile is valid");
+        assert!(
+            report.invariants_hold(),
+            "seed {seed}: availability invariants broken: {report:?}"
+        );
+        assert_eq!(
+            report.responses_seen, report.requests_sent,
+            "seed {seed}: every request must produce exactly one response"
+        );
+        assert_eq!(report.lost_responses, 0, "seed {seed}");
+        assert_eq!(report.poisoned_entries, 0, "seed {seed}");
+        assert_eq!(report.invalid_plans, 0, "seed {seed}");
+        // The preset is tuned so recovery actually happens: at a 25%
+        // panic rate over 64 requests, a panic-free run means the
+        // injectors are not wired up.
+        assert!(
+            report.stats.panics_caught > 0,
+            "seed {seed}: chaos run injected no panics"
+        );
+        assert_eq!(
+            report.rebuilds, report.stats.panics_caught,
+            "seed {seed}: every caught panic must trigger exactly one rebuild"
+        );
+        // The report renders as one valid JSON object (the CI artifact).
+        bundle_charging::obs::json::validate_line(report.to_json().trim_end())
+            .expect("report JSON validates");
+    }
+}
+
+#[test]
+fn fault_free_run_serves_every_request_at_full_fidelity() {
+    let report = loadgen::run(&LoadProfile::smoke(3)).expect("profile is valid");
+    assert!(report.invariants_hold(), "{report:?}");
+    assert_eq!(report.ok_full, report.requests_sent);
+    assert_eq!(report.ok_degraded + report.shed + report.deadline + report.failed, 0);
+    assert_eq!(report.stats.panics_caught, 0);
+}
