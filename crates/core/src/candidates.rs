@@ -92,7 +92,7 @@ impl CandidateFamily {
         // Identical anchors always induce identical member sets, which
         // the member-set dedup would drop anyway (keeping the first) —
         // dropping them here saves one coverage query per duplicate.
-        let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new(); // det-ok: membership-only dedup, never iterated
         anchors.retain(|a| seen.insert((a.x.to_bits(), a.y.to_bits())));
         let mut fam = Self::from_anchors_par(net, r, &anchors, workers);
         fam.prune_dominated_par(workers);
@@ -199,7 +199,7 @@ impl CandidateFamily {
 
     /// Removes duplicate member sets, keeping the first anchor found.
     fn dedup(&mut self) {
-        let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new(); // det-ok: membership-only dedup, never iterated
         self.candidates
             .retain(|c| seen.insert(c.members.iter().collect()));
     }

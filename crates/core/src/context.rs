@@ -255,7 +255,7 @@ impl StageBudget {
     /// Exhausts `timeout` from now (builder style).
     #[must_use]
     pub fn with_timeout(self, timeout: Duration) -> Self {
-        self.with_deadline(Instant::now() + timeout)
+        self.with_deadline(bc_obs::wall::now() + timeout)
     }
 
     /// Exhausts when `flag` is set (builder style). The flag is shared:
@@ -291,7 +291,7 @@ impl StageBudget {
             }
         }
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+            if bc_obs::wall::now() >= deadline {
                 return true;
             }
         }
@@ -833,7 +833,7 @@ impl PlanContext {
                 }
             }
             let builds_before = self.counters.total_builds();
-            let t0 = Instant::now();
+            let t0 = bc_obs::wall::now();
             stage.run(self, &mut state);
             let elapsed_s = t0.elapsed().as_secs_f64();
             timings.add(stage.kind(), Seconds(elapsed_s));

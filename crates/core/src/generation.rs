@@ -127,18 +127,18 @@ fn materialise(net: &Network, family: &CandidateFamily, selected: &[usize]) -> V
 pub(crate) fn grid_bundles(net: &Network, r: Meters) -> Vec<ChargingBundle> {
     let side = r.0 * std::f64::consts::SQRT_2;
     let field = net.field();
-    let mut cells: std::collections::HashMap<(i64, i64), Vec<usize>> =
-        std::collections::HashMap::new();
+    // BTreeMap iteration is already in cell-key order, so bundle output
+    // order is deterministic without a separate sort.
+    let mut cells: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, p) in net.positions().iter().enumerate() {
         let kx = ((p.x - field.min.x) / side).floor() as i64; // cast-ok: finite cell index
         let ky = ((p.y - field.min.y) / side).floor() as i64; // cast-ok: finite cell index
         cells.entry((kx, ky)).or_default().push(i);
     }
-    let mut entries: Vec<((i64, i64), Vec<usize>)> = cells.into_iter().collect();
-    entries.sort_unstable_by_key(|&(k, _)| k); // deterministic output order
-    entries
-        .into_iter()
-        .map(|(_, members)| ChargingBundle::from_members(members, net))
+    cells
+        .into_values()
+        .map(|members| ChargingBundle::from_members(members, net))
         .collect()
 }
 

@@ -114,8 +114,9 @@ pub fn try_run(
         .map(crate::context::StagedPlan::into_plan)
 }
 
-/// The four compared algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The four compared algorithms. `Ord` follows declaration order
+/// (Sc < Css < Bc < BcOpt) so the enum can key ordered maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Algorithm {
     /// Single Charging: one stop per sensor.
     Sc,

@@ -77,6 +77,7 @@
 
 pub mod json;
 pub mod recorders;
+pub mod wall;
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -378,7 +379,7 @@ pub struct SpanGuard {
 impl SpanGuard {
     /// Starts a span now.
     pub fn new(scope: &'static str, name: &'static str) -> Self {
-        SpanGuard { scope, name, started: std::time::Instant::now(), fields: Vec::new(), done: false }
+        SpanGuard { scope, name, started: crate::wall::now(), fields: Vec::new(), done: false }
     }
 
     /// Attaches a field to the eventual span event (builder style).

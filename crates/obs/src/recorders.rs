@@ -438,6 +438,42 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty histogram: every q reports 0.0, in and out of range.
+        let empty = HistogramSummary::default();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0.0, "empty at q={q}");
+        }
+        // Single bucket: every quantile is the same bucket midpoint,
+        // inside the observed range; with one sample the clamp makes it
+        // exact.
+        let mut one = HistogramSummary::default();
+        for s in [4.0, 5.0, 6.0, 7.0] {
+            one.observe(s);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let est = one.quantile(q);
+            assert!((4.0..=7.0).contains(&est), "single-bucket q={q} in range, got {est}");
+            assert_eq!(est, one.quantile(0.5), "single bucket: all quantiles agree");
+        }
+        let mut single = HistogramSummary::default();
+        single.observe(7.0);
+        assert_eq!(single.quantile(0.0), 7.0, "one sample is exact at q=0");
+        assert_eq!(single.quantile(1.0), 7.0, "one sample is exact at q=1");
+        // Out-of-range q clamps to [0, 1] rather than panicking or
+        // walking off the bucket list.
+        let mut h = HistogramSummary::default();
+        h.observe(1.0e-3);
+        h.observe(1.0);
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0), "q<0 behaves as q=0");
+        assert_eq!(h.quantile(1.5), h.quantile(1.0), "q>1 behaves as q=1");
+        assert_eq!(h.quantile(1.0), 1.0);
+        // q=0 still reports rank 1 (the smallest sample's bucket).
+        let q0 = h.quantile(0.0);
+        assert!((5.0e-4..=2.0e-3).contains(&q0), "q=0 in lowest bucket, got {q0}");
+    }
+
+    #[test]
     fn stats_aggregate_counters_spans_histograms() {
         let r = StatsRecorder::new();
         r.record(&ev(Kind::Counter, Value::U64(2), &[]));

@@ -1,0 +1,22 @@
+//! The workspace's single sanctioned wall-clock source.
+//!
+//! Wall time is nondeterministic by nature, which is why [`crate::Value::Wall`]
+//! is a distinct variant deterministic sinks can mask — and why *acquiring*
+//! it is confined to this module by the `det-wall-clock` lint rule.
+//! Library code that needs a timestamp (span timing, deadline arithmetic,
+//! latency metrics) calls [`now`]; holding, comparing or subtracting the
+//! returned [`Instant`] is unrestricted, so deadline plumbing keeps its
+//! natural shape. Funneling acquisition through one function keeps every
+//! wall-clock read auditable: anything the determinism tests cannot
+//! reproduce traces back to a `bc_obs::wall::now()` call site.
+
+use std::time::Instant;
+
+/// Reads the monotonic wall clock.
+///
+/// The only sanctioned `Instant::now` in library code; binary targets
+/// (benchmark and repro drivers) may read the clock directly.
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -18,7 +18,7 @@
 //! seed, so they vary run to run; the invariants do not.
 
 use std::sync::Once;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bc_core::planner::Algorithm;
 use bc_core::PlannerConfig;
@@ -307,7 +307,7 @@ pub fn run(profile: &LoadProfile) -> Result<LoadReport, ServeError> {
         })
         .collect();
 
-    let started = Instant::now();
+    let started = bc_obs::wall::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..profile.clients)
             .map(|client| {
@@ -410,7 +410,7 @@ fn run_client(
         if let Some(t) = profile.timeout {
             req = req.with_timeout(t);
         }
-        let issued = Instant::now();
+        let issued = bc_obs::wall::now();
         let outcome = service.call(req);
         tally
             .latencies_ms

@@ -15,7 +15,7 @@
 //! against the dead cache). Waiters blocked on the lock observe the
 //! poison, trigger the same rebuild, and proceed — nobody wedges.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -23,7 +23,7 @@ use bc_core::planner::Algorithm;
 use bc_core::{ContextCache, PlannerConfig, StageBudget, StagedPlan};
 use bc_wsn::Network;
 
-use crate::sync::{lock_recover, read_recover, write_recover};
+use crate::sync::{lock_recover, lock_repair, read_recover, write_recover};
 
 /// Opaque handle naming a registered network.
 pub type NetworkId = u64;
@@ -88,31 +88,21 @@ impl NetEntry {
     /// poisons the entry, which is exactly how the chaos harness
     /// injects poison.
     pub fn with_cache<R>(&self, f: impl FnOnce(&ContextCache) -> R) -> R {
-        let guard = match self.cache.lock() {
-            Ok(g) => g,
-            Err(poisoned) => {
-                // A panicking builder poisoned the entry before we got
-                // the lock. Release the salvaged guard *first* (the
-                // PoisonError owns it — holding it through rebuild()
-                // would self-deadlock), then rebuild and relock.
-                drop(poisoned);
-                self.rebuild();
-                lock_recover(&self.cache)
-            }
-        };
+        // A panicking builder may have poisoned the entry before we got
+        // the lock; the repair path rebuilds the cache from the
+        // template *unlocked* (rebuild relocks internally), then the
+        // helper re-acquires.
+        let guard = lock_repair(&self.cache, || {
+            self.rebuild();
+        });
         f(&guard)
     }
 
     /// Mutable variant of [`Self::with_cache`] for replan mutations.
     pub fn with_cache_mut<R>(&self, f: impl FnOnce(&mut ContextCache) -> R) -> R {
-        let mut guard = match self.cache.lock() {
-            Ok(g) => g,
-            Err(poisoned) => {
-                drop(poisoned);
-                self.rebuild();
-                lock_recover(&self.cache)
-            }
-        };
+        let mut guard = lock_repair(&self.cache, || {
+            self.rebuild();
+        });
         f(&mut guard)
     }
 
@@ -196,7 +186,7 @@ impl NetEntry {
 /// All registered networks, keyed by [`NetworkId`].
 #[derive(Debug, Default)]
 pub struct NetworkRegistry {
-    entries: RwLock<HashMap<NetworkId, Arc<NetEntry>>>,
+    entries: RwLock<BTreeMap<NetworkId, Arc<NetEntry>>>,
     next_id: AtomicU64,
 }
 

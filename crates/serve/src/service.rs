@@ -20,7 +20,7 @@
 //!    capacity, and identical in-flight `(network, generation,
 //!    revision, algorithm)` plan requests collapse onto one build.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -211,7 +211,7 @@ impl Flight {
                     guard = self.cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Some(d) => {
-                    let now = Instant::now();
+                    let now = bc_obs::wall::now();
                     if now >= d {
                         return None;
                     }
@@ -299,7 +299,7 @@ struct Shared {
     registry: NetworkRegistry,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
-    inflight: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+    inflight: Mutex<BTreeMap<FlightKey, Arc<Flight>>>,
     stats: ServeStats,
     next_request: AtomicU64,
 }
@@ -324,14 +324,14 @@ impl PlanService {
             registry: NetworkRegistry::new(),
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
             queue_cv: Condvar::new(),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(BTreeMap::new()),
             stats: ServeStats::default(),
             next_request: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared)) // det-ok: long-lived worker pool, joined in shutdown
             })
             .collect();
         Ok(PlanService { shared, workers })
@@ -370,7 +370,7 @@ impl PlanService {
             });
         }
         let id = self.shared.next_request.fetch_add(1, Ordering::AcqRel);
-        let now = Instant::now();
+        let now = bc_obs::wall::now();
         let deadline = req
             .timeout
             .or(self.shared.cfg.default_timeout)
@@ -461,7 +461,7 @@ fn rung_budget(deadline: Option<Instant>, is_final: bool) -> StageBudget {
             if is_final {
                 StageBudget::none().with_deadline(d)
             } else {
-                let now = Instant::now();
+                let now = bc_obs::wall::now();
                 let remaining = d.saturating_duration_since(now);
                 StageBudget::none().with_deadline(now + remaining / 2)
             }
@@ -579,7 +579,7 @@ fn process(shared: &Shared, job: Job) {
 /// mutation, single-flight, then the retrying ladder.
 fn execute(shared: &Shared, job: &Job) -> Result<PlanResponse, ServeError> {
     if let Some(d) = job.deadline {
-        if Instant::now() >= d {
+        if bc_obs::wall::now() >= d {
             // Died of queue delay — the admission-controlled overload
             // signal the chaos harness drives the service into.
             return Err(ServeError::DeadlineExceeded { stages_run: 0 });
@@ -686,7 +686,7 @@ fn attempt_with_retries(
     let mut last_cause = RetryCause::TransientFailure;
     for attempt in 0..policy.max_attempts() {
         if let Some(d) = job.deadline {
-            if Instant::now() >= d {
+            if bc_obs::wall::now() >= d {
                 return Err(ServeError::DeadlineExceeded { stages_run: 0 });
             }
         }
@@ -694,7 +694,7 @@ fn attempt_with_retries(
         if let Some(stall) = fault.stall {
             // Injected stall: sleep, but never past the deadline.
             let capped = match job.deadline {
-                Some(d) => stall.min(d.saturating_duration_since(Instant::now())),
+                Some(d) => stall.min(d.saturating_duration_since(bc_obs::wall::now())),
                 None => stall,
             };
             std::thread::sleep(capped);

@@ -180,8 +180,7 @@ mod tests {
         let m = DistanceMatrix::from_points(&pts);
         let pick = [5, 0, 3];
         let sub = m.submatrix(&pick);
-        let direct =
-            DistanceMatrix::from_points(&[pts[5], pts[0], pts[3]]); // context-ok: exactness oracle
+        let direct = DistanceMatrix::from_points(&[pts[5], pts[0], pts[3]]);
         assert_eq!(sub, direct);
         for a in 0..3 {
             for b in 0..3 {

@@ -1,450 +1,89 @@
-//! Offline workspace lint driver, invoked as `cargo xtask lint`.
+//! Thin driver for the `bc-lint` workspace scan, invoked as
+//! `cargo xtask lint`.
 //!
-//! Complements `cargo clippy` (which enforces the `[workspace.lints]`
-//! table at compile time) with source-level checks that clippy cannot
-//! express:
+//! All analysis lives in `bc-lint` (the lexer, the rule catalog, the
+//! three audit passes, the report renderers and the self-test corpus);
+//! this binary only resolves the workspace root, runs
+//! [`bc_lint::run_workspace`], and decides where the output goes:
 //!
-//! 1. **Unannotated numeric casts** — ` as f64` / ` as usize` / ` as
-//!    u64` / ` as u32` / ` as i64` / ` as i32` in library code must carry
-//!    an inline `// cast-ok: <reason>` audit marker. The marker is the
-//!    repo's allowlist: every cast of a physical quantity is expected to
-//!    go through the `bc-units` newtypes instead, so a raw cast is only
-//!    acceptable for counts, indices and bit manipulation — and must say
-//!    so.
-//! 2. **Panicking extractors** — `.unwrap()` / `.expect(` outside
-//!    `#[cfg(test)]` code. The error layer of PR 1 exists precisely so
-//!    library code never panics on fallible paths.
-//! 3. **Raw `f64` quantity fields** — `pub <name>_{j,s,m,m2,w,mps,jpm}:
-//!    f64` struct fields in `crates/wpt` and `crates/core`, which must be
-//!    `bc-units` newtypes (`Joules`, `Seconds`, `Meters`, ...).
-//! 4. **Lint-table drift** — the root `Cargo.toml` must keep denying
-//!    `unwrap_used`, `expect_used`, `cast_possible_truncation` and
-//!    `cast_sign_loss`, and every library crate must opt in with
-//!    `[lints] workspace = true`.
-//! 5. **Context bypass** — `CandidateFamily::pair_intersection*` /
-//!    `DistanceMatrix::from_points(` outside `bc-core::context` and the
-//!    crates that define them. Planner-layer code must obtain those
-//!    artifacts from a shared `PlanContext` so a figure sweep builds
-//!    them once; a deliberate direct build carries `// context-ok:
-//!    <reason>`.
-//! 6. **Raw time arithmetic in bc-des** — `Seconds(`, `_s.0` and
-//!    `as_secs_f64` inside `crates/des/src` outside the `clock` module.
-//!    The engine's determinism argument rests on every timestamp flowing
-//!    through `des::clock` (`Time`, `seconds()`/`minutes()`/`hours()`);
-//!    a deliberate exception carries `// time-ok: <reason>`.
-//! 7. **Print diagnostics in library code** — `println!` / `eprintln!`
-//!    outside binary targets (`src/bin/`, `src/main.rs`). Diagnostics
-//!    route through `bc-obs` events so sinks decide what is shown; a
-//!    deliberate exception carries `// print-ok: <reason>`.
-//! 8. **Naked lock acquisition** — `.lock().unwrap()` (and the
-//!    `.expect(` / RwLock `.read()` / `.write()` variants) in library
-//!    code. A panicking waiter turns one caught panic into a poisoned
-//!    lock that wedges every later request; recovery must be explicit
-//!    via `bc_serve::sync::{lock_recover, read_recover, write_recover}`
-//!    or carry a `// lock-ok: <reason>` marker.
-//!
-//! Scope: `src/` trees of the root facade and every `crates/*` member
-//! except this one. `vendor/` stubs, `tests/`, `examples/` and `benches/`
-//! are exempt (test and demo code may panic freely; clippy.toml grants
-//! the same exemption to unit tests). Within a file, everything after the
-//! first `#[cfg(test)]` line is ignored — by repo convention test modules
-//! sit at the bottom of the file — and comment-only lines are skipped.
+//! * `cargo xtask lint` — compiler-style text to stdout/stderr, exit
+//!   code 1 when anything fired;
+//! * `cargo xtask lint --json [--out PATH]` — renders the byte-stable
+//!   JSON report, cross-validates it with `bc_obs::json` (an
+//!   independent parser: the renderer lives in dependency-free
+//!   `bc-lint`, so a disagreement means one of them is wrong), writes
+//!   it to `PATH` (default `lint_report.json` at the workspace root),
+//!   and echoes it to stdout for CI capture.
 
-use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => lint(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--json] [--out PATH]");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Runs every check against the workspace rooted at the manifest dir.
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations = Vec::new();
-
-    for file in library_sources(&root) {
-        let Ok(text) = fs::read_to_string(&file) else {
-            eprintln!("xtask: unreadable source file {}", file.display());
-            return ExitCode::FAILURE;
-        };
-        let label = file
-            .strip_prefix(&root)
-            .unwrap_or(&file)
-            .display()
-            .to_string();
-        violations.extend(scan_source(&label, &text));
+fn lint(flags: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
-    violations.extend(check_lint_table(&root));
-    violations.extend(check_crate_lint_optin(&root));
+    let root = workspace_root();
+    let report = match bc_lint::run_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    if violations.is_empty() {
-        println!("xtask lint: clean");
+    if json {
+        let rendered = report.render_json();
+        // Independent re-parse: bc-lint hand-renders its JSON without a
+        // dependency, so run the document through bc-obs's validator
+        // before anything downstream consumes it.
+        if let Err(e) = bc_obs::json::validate_line(&rendered) {
+            eprintln!("xtask: rendered report failed JSON validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = out_path.unwrap_or_else(|| root.join("lint_report.json"));
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("xtask: write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        print!("{rendered}");
+        eprintln!("xtask: wrote {}", path.display());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
-            eprintln!("{v}");
-        }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
-}
-
-/// One finding, printed in `file:line: [rule] message` compiler style.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    file: String,
-    line: usize,
-    rule: Rule,
-    excerpt: String,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Rule {
-    UnannotatedCast,
-    PanickingExtractor,
-    RawQuantityField,
-    LintTableDrift,
-    ContextBypass,
-    RawTime,
-    PrintBan,
-    NakedLock,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (name, hint) = match self.rule {
-            Rule::UnannotatedCast => (
-                "unannotated-cast",
-                "add `// cast-ok: <reason>` or route through bc-units",
-            ),
-            Rule::PanickingExtractor => (
-                "panicking-extractor",
-                "return an error (see PlanError/ExecError) instead of panicking",
-            ),
-            Rule::RawQuantityField => (
-                "raw-quantity-field",
-                "use a bc-units newtype (Joules, Seconds, Meters, ...)",
-            ),
-            Rule::LintTableDrift => ("lint-table-drift", "restore the workspace lint config"),
-            Rule::ContextBypass => (
-                "context-bypass",
-                "build this artifact through PlanContext, or add `// context-ok: <reason>`",
-            ),
-            Rule::RawTime => (
-                "raw-time",
-                "route timestamps through des::clock (Time, seconds()/minutes()/hours()), \
-                 or add `// time-ok: <reason>`",
-            ),
-            Rule::PrintBan => (
-                "print-ban",
-                "emit a bc-obs event instead of printing from library code, \
-                 or add `// print-ok: <reason>`",
-            ),
-            Rule::NakedLock => (
-                "naked-lock",
-                "recover from poisoning via bc_serve::sync::{lock,read,write}_recover, \
-                 or add `// lock-ok: <reason>`",
-            ),
-        };
-        write!(
-            f,
-            "{}:{}: [{name}] {} ({hint})",
-            self.file,
-            self.line,
-            self.excerpt.trim()
-        )
-    }
-}
-
-/// The numeric casts that require an audit marker in library code.
-const CAST_PATTERNS: [&str; 6] = [
-    " as f64", " as usize", " as u64", " as u32", " as i64", " as i32",
-];
-
-/// Artifact constructions that must go through `bc_core::context` in
-/// planner-layer code. The first pattern has no closing paren so the
-/// `_par` variant matches too.
-const CONTEXT_BYPASS_PATTERNS: [&str; 2] = [
-    "CandidateFamily::pair_intersection",
-    "DistanceMatrix::from_points(",
-];
-
-/// Files allowed to construct the shared artifacts directly: the
-/// context module that owns the cache, and the crates defining the
-/// constructors (their internals and unit tests are the implementation).
-fn context_bypass_exempt(label: &str) -> bool {
-    label.contains("crates/tsp/")
-        || label.ends_with("crates/core/src/context.rs")
-        || label.ends_with("crates/core/src/candidates.rs")
-}
-
-/// Raw time arithmetic that must stay inside `des::clock`: direct
-/// `Seconds` construction, tuple-field access on a seconds quantity,
-/// and `Duration`-style float extraction.
-const RAW_TIME_PATTERNS: [&str; 3] = ["Seconds(", "_s.0", "as_secs_f64"];
-
-/// Whether `label` falls under the raw-time rule: all of `bc-des`
-/// except the clock module that owns the sanctioned conversions.
-fn raw_time_scope(label: &str) -> bool {
-    label.contains("crates/des/") && !label.ends_with("clock.rs")
-}
-
-/// Print diagnostics banned from library code (`eprintln!` contains
-/// `println!`, so one pattern covers both; kept separate for clarity).
-const PRINT_PATTERNS: [&str; 2] = ["println!", "eprintln!"];
-
-/// Binary targets may print — that is their user interface. Everything
-/// else routes diagnostics through `bc-obs`.
-fn print_exempt(label: &str) -> bool {
-    label.contains("/bin/") || label.ends_with("main.rs")
-}
-
-/// Lock acquisitions that panic on poison. A worker panic would then
-/// cascade into every later waiter; library code recovers explicitly
-/// through `bc_serve::sync` instead.
-const NAKED_LOCK_PATTERNS: [&str; 6] = [
-    ".lock().unwrap()",
-    ".lock().expect(",
-    ".read().unwrap()",
-    ".read().expect(",
-    ".write().unwrap()",
-    ".write().expect(",
-];
-
-/// Suffixes that mark a field as a physical quantity (matching the
-/// `bc-units` catalog: Joules, Seconds, Meters, Meters2, Watts,
-/// MetersPerSecond, JoulesPerMeter).
-const QUANTITY_SUFFIXES: [&str; 7] = ["_j", "_s", "_m", "_m2", "_w", "_mps", "_jpm"];
-
-/// Scans one library source file; `label` is the path reported in
-/// findings. Pure so the self-tests can feed seeded sources.
-fn scan_source(label: &str, text: &str) -> Vec<Violation> {
-    let quantity_crate = label.contains("crates/wpt/") || label.contains("crates/core/");
-    let mut out = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        // Test modules sit at the bottom of each file by convention;
-        // everything after the marker is exempt (clippy.toml grants the
-        // same exemption via allow-unwrap-in-tests).
-        if line.contains("#[cfg(test)]") {
-            break;
-        }
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // comment-only lines, including /// and //! docs
-        }
-        let lineno = idx + 1;
-
-        if !line.contains("cast-ok:")
-            && CAST_PATTERNS.iter().any(|p| line.contains(p))
-        {
-            out.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                rule: Rule::UnannotatedCast,
-                excerpt: line.to_string(),
-            });
-        }
-
-        // The naked-lock rule takes precedence over the generic
-        // panicking-extractor rule on lock lines: the fix is different
-        // (poison recovery, not error returns), so the hint must be too.
-        if NAKED_LOCK_PATTERNS.iter().any(|p| line.contains(p)) {
-            if !line.contains("lock-ok:") {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: lineno,
-                    rule: Rule::NakedLock,
-                    excerpt: line.to_string(),
-                });
-            }
-        } else if line.contains(".unwrap()") || line.contains(".expect(") {
-            out.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                rule: Rule::PanickingExtractor,
-                excerpt: line.to_string(),
-            });
-        }
-
-        if !context_bypass_exempt(label)
-            && !line.contains("context-ok:")
-            && CONTEXT_BYPASS_PATTERNS.iter().any(|p| line.contains(p))
-        {
-            out.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                rule: Rule::ContextBypass,
-                excerpt: line.to_string(),
-            });
-        }
-
-        if raw_time_scope(label)
-            && !line.contains("time-ok:")
-            && RAW_TIME_PATTERNS.iter().any(|p| line.contains(p))
-        {
-            out.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                rule: Rule::RawTime,
-                excerpt: line.to_string(),
-            });
-        }
-
-        if !print_exempt(label)
-            && !line.contains("print-ok:")
-            && PRINT_PATTERNS.iter().any(|p| line.contains(p))
-        {
-            out.push(Violation {
-                file: label.to_string(),
-                line: lineno,
-                rule: Rule::PrintBan,
-                excerpt: line.to_string(),
-            });
-        }
-
-        if quantity_crate {
-            if let Some(field) = raw_quantity_field(trimmed) {
-                out.push(Violation {
-                    file: label.to_string(),
-                    line: lineno,
-                    rule: Rule::RawQuantityField,
-                    excerpt: field.to_string(),
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Returns the declaration when `line` is a `pub <name>_<unit>: f64`
-/// struct field whose name carries a quantity suffix.
-fn raw_quantity_field(line: &str) -> Option<&str> {
-    let rest = line.strip_prefix("pub ")?;
-    let colon = rest.find(':')?;
-    let (name, ty) = rest.split_at(colon);
-    let name = name.trim();
-    let ty = ty[1..].trim().trim_end_matches(',');
-    if ty != "f64" {
-        return None;
-    }
-    // Field names are plain identifiers; anything else (fn signatures,
-    // generics) has already failed the `find(':')` shape above or fails
-    // the identifier check here.
-    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        return None;
-    }
-    QUANTITY_SUFFIXES
-        .iter()
-        .any(|s| name.ends_with(s))
-        .then_some(line)
-}
-
-/// The four clippy lints the workspace must keep denying.
-const REQUIRED_DENIES: [&str; 4] = [
-    "unwrap_used",
-    "expect_used",
-    "cast_possible_truncation",
-    "cast_sign_loss",
-];
-
-/// Checks the root manifest still denies the required clippy lints.
-fn check_lint_table(root: &Path) -> Vec<Violation> {
-    let manifest = root.join("Cargo.toml");
-    let Ok(text) = fs::read_to_string(&manifest) else {
-        return vec![Violation {
-            file: manifest.display().to_string(),
-            line: 0,
-            rule: Rule::LintTableDrift,
-            excerpt: "root Cargo.toml unreadable".to_string(),
-        }];
-    };
-    lint_table_violations("Cargo.toml", &text)
-}
-
-/// Pure core of [`check_lint_table`] for the self-tests.
-fn lint_table_violations(label: &str, manifest: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let mut in_table = false;
-    let mut denied: Vec<&str> = Vec::new();
-    for line in manifest.lines() {
-        let t = line.trim();
-        if t.starts_with('[') {
-            in_table = t == "[workspace.lints.clippy]";
-            continue;
-        }
-        if in_table {
-            if let Some((key, value)) = t.split_once('=') {
-                if value.contains("deny") {
-                    denied.push(key.trim());
-                }
-            }
-        }
-    }
-    for lint in REQUIRED_DENIES {
-        if !denied.contains(&lint) {
-            out.push(Violation {
-                file: label.to_string(),
-                line: 0,
-                rule: Rule::LintTableDrift,
-                excerpt: format!("[workspace.lints.clippy] must deny `{lint}`"),
-            });
-        }
-    }
-    out
-}
-
-/// Checks every scanned crate manifest opts into the workspace lints.
-fn check_crate_lint_optin(root: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for dir in crate_dirs(root) {
-        let manifest = dir.join("Cargo.toml");
-        let label = manifest
-            .strip_prefix(root)
-            .unwrap_or(&manifest)
-            .display()
-            .to_string();
-        let ok = fs::read_to_string(&manifest)
-            .is_ok_and(|text| manifest_opts_into_lints(&text));
-        if !ok {
-            out.push(Violation {
-                file: label,
-                line: 0,
-                rule: Rule::LintTableDrift,
-                excerpt: "crate must set `[lints] workspace = true`".to_string(),
-            });
-        }
-    }
-    out
-}
-
-/// True when a crate manifest contains `[lints] workspace = true`.
-fn manifest_opts_into_lints(manifest: &str) -> bool {
-    let mut in_lints = false;
-    for line in manifest.lines() {
-        let t = line.trim();
-        if t.starts_with('[') {
-            in_lints = t == "[lints]";
-            continue;
-        }
-        if in_lints {
-            if let Some((key, value)) = t.split_once('=') {
-                if key.trim() == "workspace" && value.trim() == "true" {
-                    return true;
-                }
-            }
-        }
-    }
-    false
 }
 
 /// Workspace root: the parent of this crate's manifest dir.
@@ -454,241 +93,4 @@ fn workspace_root() -> PathBuf {
         .parent()
         .and_then(Path::parent)
         .map_or(manifest.clone(), Path::to_path_buf)
-}
-
-/// The crate directories whose `src/` trees are linted: the root facade
-/// plus every `crates/*` member except xtask itself (whose source quotes
-/// the banned patterns). `vendor/` stubs are third-party API shims and
-/// exempt.
-fn crate_dirs(root: &Path) -> Vec<PathBuf> {
-    let mut dirs = vec![root.to_path_buf()];
-    let Ok(entries) = fs::read_dir(root.join("crates")) else {
-        return dirs;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() && path.file_name().is_some_and(|n| n != "xtask") {
-            dirs.push(path);
-        }
-    }
-    dirs.sort();
-    dirs
-}
-
-/// All `.rs` files under the linted crates' `src/` trees.
-fn library_sources(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    for dir in crate_dirs(root) {
-        collect_rs(&dir.join("src"), &mut files);
-    }
-    files.sort();
-    files
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn seeded_cast_without_marker_is_flagged() {
-        let src = "fn f(n: usize) -> f64 {\n    n as f64\n}\n";
-        let v = scan_source("crates/sim/src/x.rs", src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, Rule::UnannotatedCast);
-        assert_eq!(v[0].line, 2);
-    }
-
-    #[test]
-    fn cast_with_marker_passes() {
-        let src = "fn f(n: usize) -> f64 {\n    n as f64 // cast-ok: count to float\n}\n";
-        assert!(scan_source("crates/sim/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unwrap_and_expect_are_flagged_outside_tests() {
-        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"h\");\n}\n";
-        let v = scan_source("crates/core/src/x.rs", src);
-        assert_eq!(v.len(), 2);
-        assert!(v.iter().all(|v| v.rule == Rule::PanickingExtractor));
-    }
-
-    #[test]
-    fn unwrap_or_else_and_comments_pass() {
-        let src = "//! docs mention .unwrap() freely\n\
-                   /// and n as f64 too\n\
-                   fn f() {\n\
-                       let x = g().unwrap_or_else(|_| 0);\n\
-                       let y = h().unwrap_or(1);\n\
-                   }\n";
-        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn code_after_cfg_test_is_exempt() {
-        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { h().unwrap(); }\n}\n";
-        assert!(scan_source("crates/core/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_quantity_field_flagged_in_core_only() {
-        let src = "pub struct S {\n    pub total_energy_j: f64,\n    pub count: usize,\n}\n";
-        let v = scan_source("crates/core/src/plan.rs", src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, Rule::RawQuantityField);
-        // Outside wpt/core the typed-field rule does not apply.
-        assert!(scan_source("crates/geom/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn typed_quantity_field_passes() {
-        let src = "pub struct S {\n    pub total_energy_j: Joules,\n    pub efficiency: f64,\n}\n";
-        assert!(scan_source("crates/core/src/plan.rs", src).is_empty());
-    }
-
-    #[test]
-    fn context_bypass_flagged_outside_context_module() {
-        let src = "fn f(net: &Network) {\n    let fam = CandidateFamily::pair_intersection(net, 10.0);\n    let m = DistanceMatrix::from_points(net.positions());\n}\n";
-        let v = scan_source("crates/core/src/planner/bc.rs", src);
-        assert_eq!(v.len(), 2);
-        assert!(v.iter().all(|v| v.rule == Rule::ContextBypass));
-        // The parallel variant is caught by the paren-less pattern.
-        let par = "fn f() { CandidateFamily::pair_intersection_par(net, 1.0, 4); }\n";
-        assert_eq!(scan_source("crates/sim/src/x.rs", par).len(), 1);
-    }
-
-    #[test]
-    fn context_bypass_exemptions_pass() {
-        let src = "fn f() { let m = DistanceMatrix::from_points(&pts); }\n";
-        assert!(scan_source("crates/tsp/src/lib.rs", src).is_empty());
-        assert!(scan_source("crates/core/src/context.rs", src).is_empty());
-        assert!(scan_source("crates/core/src/candidates.rs", src).is_empty());
-        let marked =
-            "fn f() { let m = DistanceMatrix::from_points(&pts); // context-ok: no net here\n}\n";
-        assert!(scan_source("crates/core/src/terrain.rs", marked).is_empty());
-    }
-
-    #[test]
-    fn raw_time_flagged_in_des_outside_clock() {
-        let src = "fn f() {\n    let t = Seconds(3.0);\n    let raw = horizon_s.0;\n    let d = dur.as_secs_f64();\n}\n";
-        let v = scan_source("crates/des/src/engine.rs", src);
-        assert_eq!(v.len(), 3);
-        assert!(v.iter().all(|v| v.rule == Rule::RawTime));
-        // The clock module owns the sanctioned conversions.
-        assert!(scan_source("crates/des/src/clock.rs", src).is_empty());
-        // Other crates keep using Seconds directly.
-        assert!(scan_source("crates/core/src/plan.rs", "let t = Seconds(3.0);\n").is_empty());
-    }
-
-    #[test]
-    fn raw_time_marker_and_test_code_pass() {
-        let marked = "fn f() { let t = Seconds(0.0); // time-ok: report boundary\n}\n";
-        assert!(scan_source("crates/des/src/engine.rs", marked).is_empty());
-        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { t(Seconds(1.0)); }\n}\n";
-        assert!(scan_source("crates/des/src/engine.rs", test_only).is_empty());
-    }
-
-    #[test]
-    fn prints_flagged_in_library_code_only() {
-        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
-        let v = scan_source("crates/core/src/x.rs", src);
-        assert_eq!(v.len(), 2);
-        assert!(v.iter().all(|v| v.rule == Rule::PrintBan));
-        // Binary targets are the user interface and may print.
-        assert!(scan_source("crates/sim/src/bin/repro.rs", src).is_empty());
-        assert!(scan_source("crates/xtask/src/main.rs", src).is_empty());
-        // Markers and test modules are exempt like every other rule.
-        let marked = "fn f() { eprintln!(\"x\"); // print-ok: fatal-path diagnostics\n}\n";
-        assert!(scan_source("crates/core/src/x.rs", marked).is_empty());
-        let test_only = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"t\"); }\n}\n";
-        assert!(scan_source("crates/core/src/x.rs", test_only).is_empty());
-    }
-
-    #[test]
-    fn naked_locks_flagged_over_generic_extractor() {
-        let src = "fn f() {\n    let a = m.lock().unwrap();\n    let b = rw.read().unwrap();\n    let c = rw.write().expect(\"w\");\n}\n";
-        let v = scan_source("crates/serve/src/x.rs", src);
-        assert_eq!(v.len(), 3);
-        assert!(v.iter().all(|v| v.rule == Rule::NakedLock));
-        // Recovery helpers and non-lock unwraps are untouched by this rule.
-        let recovered = "fn f() { let g = lock_recover(&m); }\n";
-        assert!(scan_source("crates/serve/src/x.rs", recovered).is_empty());
-        let plain = "fn f() { g().unwrap(); }\n";
-        assert_eq!(
-            scan_source("crates/serve/src/x.rs", plain)[0].rule,
-            Rule::PanickingExtractor
-        );
-    }
-
-    #[test]
-    fn naked_lock_marker_and_test_code_pass() {
-        let marked = "fn f() { let g = m.lock().unwrap(); // lock-ok: single-threaded setup\n}\n";
-        assert!(scan_source("crates/serve/src/x.rs", marked).is_empty());
-        let test_only =
-            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { m.lock().unwrap(); }\n}\n";
-        assert!(scan_source("crates/serve/src/x.rs", test_only).is_empty());
-    }
-
-    #[test]
-    fn lint_table_drift_detected() {
-        let good = "[workspace.lints.clippy]\n\
-                    unwrap_used = \"deny\"\n\
-                    expect_used = \"deny\"\n\
-                    cast_possible_truncation = \"deny\"\n\
-                    cast_sign_loss = \"deny\"\n";
-        assert!(lint_table_violations("Cargo.toml", good).is_empty());
-        let drifted = good.replace("expect_used = \"deny\"", "expect_used = \"warn\"");
-        let v = lint_table_violations("Cargo.toml", &drifted);
-        assert_eq!(v.len(), 1);
-        assert!(v[0].excerpt.contains("expect_used"));
-    }
-
-    #[test]
-    fn manifest_optin_detected() {
-        assert!(manifest_opts_into_lints("[lints]\nworkspace = true\n"));
-        assert!(!manifest_opts_into_lints("[package]\nname = \"x\"\n"));
-        assert!(!manifest_opts_into_lints("[lints]\nworkspace = false\n"));
-    }
-
-    #[test]
-    fn full_tree_is_clean() {
-        // The repo itself must pass its own lint — the acceptance
-        // criterion for `cargo xtask lint` exiting 0.
-        let root = workspace_root();
-        let mut violations = Vec::new();
-        for file in library_sources(&root) {
-            let text = std::fs::read_to_string(&file)
-                .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
-            let label = file
-                .strip_prefix(&root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            violations.extend(scan_source(&label, &text));
-        }
-        violations.extend(check_lint_table(&root));
-        violations.extend(check_crate_lint_optin(&root));
-        assert!(
-            violations.is_empty(),
-            "workspace lint violations:\n{}",
-            violations
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
 }
