@@ -65,8 +65,13 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("--n must be positive".into());
     }
 
-    let workers = default_workers();
-    eprintln!(">> candidate enumeration: n = {n}, workers = {workers}");
+    // The speedup figure is meaningless at workers = 1 (serial vs
+    // serial): on single-core CI boxes `default_workers()` is 1, so the
+    // parallel leg always runs at least two workers, and the JSON
+    // records both the cores seen and the workers actually used.
+    let cores = default_workers();
+    let workers = cores.max(2);
+    eprintln!(">> candidate enumeration: n = {n}, cores = {cores}, workers = {workers}");
     let net = dense_network(n, seed);
 
     let t0 = Instant::now();
@@ -128,7 +133,6 @@ fn run(args: &[String]) -> Result<(), String> {
          \"null_recorder\": {{\"bare_s\": {bare_s:.6}, \"null_s\": {null_s:.6}, \
          \"overhead_ratio\": {overhead_ratio:.4}, \"plans_identical\": true}},\n  \
          \"stage_timings\": {{\n{stages}\n  }}\n}}\n",
-        cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         nc = serial.candidates.len(),
         stages = stage_json.join(",\n"),
     );

@@ -46,7 +46,7 @@ pub mod execute;
 pub mod faults;
 pub mod generation;
 pub mod multi;
-mod par;
+pub mod par;
 pub mod plan;
 pub mod planner;
 pub mod replan;

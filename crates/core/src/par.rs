@@ -5,6 +5,11 @@
 //! without any new runtime dependency. Determinism is structural: task
 //! `i`'s result always lands in slot `i`, and callers reduce the slots in
 //! index order, so the output is byte-identical for any worker count.
+//!
+//! This module is the workspace's sanctioned thread-spawn point (the
+//! `det-thread-spawn` lint bans `std::thread` elsewhere): bc-campaign's
+//! seed-sweep driver fans out through [`par_map`] rather than rolling its
+//! own pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -19,7 +24,7 @@ use std::thread;
 ///
 /// A panic inside `f` propagates to the caller once all workers finish
 /// (the scoped-thread join re-raises it).
-pub(crate) fn par_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+pub fn par_map<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -43,6 +43,7 @@ use crate::event::Event;
 use crate::fleet::{assign_stops, ChargerLedger};
 use crate::queue::EventQueue;
 use crate::scenario::{Scenario, ScenarioError};
+use crate::state::SensorBank;
 use crate::trace::{TraceRecord, TraceRing};
 use bc_core::context::ContextCache;
 use bc_core::execute::{ExecError, Executor};
@@ -235,18 +236,6 @@ struct ChargerState {
     ledger: ChargerLedger,
 }
 
-#[derive(Debug)]
-struct SensorState {
-    level: Joules,
-    updated: Time,
-    gen: u64,
-    low: bool,
-    hw_dead: bool,
-    ever_dead: bool,
-    dead_since: Option<Time>,
-    first_death: Option<Time>,
-}
-
 /// Round realization mode, fixed for the whole run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -267,7 +256,8 @@ struct Engine<'a> {
 
     /// Original sensor positions (stable across network revisions).
     positions: Vec<Point>,
-    sensors: Vec<SensorState>,
+    /// SoA battery state, indexed by original sensor index.
+    sensors: SensorBank,
     low_count: usize,
     dispatch_pending: bool,
 
@@ -332,21 +322,10 @@ impl<'a> Engine<'a> {
             horizon: Time::at(sc.horizon_s),
             trigger_eff: sc.trigger_count.min(n.max(1)),
             clock: Clock::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(sc.queue),
             trace: TraceRing::new(sc.trace_capacity),
             positions: sc.net.positions().to_vec(),
-            sensors: (0..n)
-                .map(|_| SensorState {
-                    level: capacity,
-                    updated: Time::ZERO,
-                    gen: 0,
-                    low: false,
-                    hw_dead: false,
-                    ever_dead: false,
-                    dead_since: None,
-                    first_death: None,
-                })
-                .collect(),
+            sensors: SensorBank::new(n, capacity),
             low_count: 0,
             dispatch_pending: false,
             cache,
@@ -387,12 +366,13 @@ impl<'a> Engine<'a> {
 
     fn run(mut self) -> Result<DesReport, DesError> {
         self.init_batteries();
-        loop {
-            match self.queue.peek_time() {
-                Some(t) if t <= self.horizon => {}
-                _ => break,
+        // Pop-first: the calendar backend's pop is amortized O(1) but
+        // its peek is a scan, so the loop takes the event and checks the
+        // horizon on the popped timestamp instead of peeking.
+        while let Some(sch) = self.queue.pop() {
+            if sch.at > self.horizon {
+                break;
             }
-            let Some(sch) = self.queue.pop() else { break };
             self.clock.advance_to(sch.at);
             let rec = TraceRecord { at: sch.at, seq: sch.seq, event: sch.event };
             self.trace.push(rec);
@@ -405,20 +385,11 @@ impl<'a> Engine<'a> {
 
     // ---- battery trajectories -------------------------------------------
 
-    fn level_at(&self, s: usize, t: Time) -> Joules {
-        let st = &self.sensors[s];
-        (st.level - self.sc.drain_w * t.since(st.updated)).max(Joules(0.0))
-    }
-
     /// Settle sensor `s`'s lazy trajectory to the current instant and
     /// return the settled level.
     fn settle(&mut self, s: usize) -> Joules {
         let now = self.clock.now();
-        let level = self.level_at(s, now);
-        let st = &mut self.sensors[s];
-        st.level = level;
-        st.updated = now;
-        level
+        self.sensors.settle(s, now, self.sc.drain_w)
     }
 
     /// A sensor is low when its level is at or below the trigger. The
@@ -433,13 +404,12 @@ impl<'a> Engine<'a> {
     /// from its current trajectory. Crossings beyond the horizon are not
     /// queued — the finalizer settles every trajectory at the horizon.
     fn schedule_battery_events(&mut self, s: usize) {
-        let st = &self.sensors[s];
-        if st.hw_dead || self.sc.drain_w <= bc_units::Watts(0.0) {
+        if self.sensors.hw_dead(s) || self.sc.drain_w <= bc_units::Watts(0.0) {
             return;
         }
         let now = self.clock.now();
-        let gen = st.gen;
-        let level = st.level;
+        let gen = u64::from(self.sensors.gen(s));
+        let level = self.sensors.level(s);
         if level > self.sc.trigger_level_j {
             let t_low = now.advance((level - self.sc.trigger_level_j) / self.sc.drain_w);
             if t_low <= self.horizon {
@@ -456,8 +426,8 @@ impl<'a> Engine<'a> {
 
     fn init_batteries(&mut self) {
         for s in 0..self.sensors.len() {
-            if self.is_low(self.sensors[s].level) {
-                self.sensors[s].low = true;
+            if self.is_low(self.sensors.level(s)) {
+                self.sensors.set_low(s, true);
                 self.low_count += 1;
             }
             self.schedule_battery_events(s);
@@ -469,7 +439,7 @@ impl<'a> Engine<'a> {
     /// capacity (the battery-overfill invariant), reviving it if it was
     /// battery-dead, and rebuild its crossings.
     fn recharge(&mut self, s: usize, anchor: Point, dwell: Seconds, efficiency: f64) {
-        if self.sensors[s].hw_dead {
+        if self.sensors.hw_dead(s) {
             return;
         }
         let now = self.clock.now();
@@ -481,16 +451,14 @@ impl<'a> Engine<'a> {
         debug_assert!(level <= self.sc.battery_j, "recharge overfilled a battery");
         self.max_battery = self.max_battery.max(level);
         let low = self.is_low(level);
-        if let Some(dead_at) = self.sensors[s].dead_since.take() {
+        if let Some(dead_at) = self.sensors.take_dead_since(s) {
             self.downtime += now.since(dead_at);
         }
-        let st = &mut self.sensors[s];
-        st.level = level;
-        st.updated = now;
-        st.gen += 1;
-        let gen = st.gen;
-        let was_low = st.low;
-        st.low = low;
+        self.sensors.set_level(s, level);
+        self.sensors.set_updated(s, now);
+        let gen = u64::from(self.sensors.bump_gen(s));
+        let was_low = self.sensors.low(s);
+        self.sensors.set_low(s, low);
         if bc_obs::active() {
             // The generation bump just invalidated any queued crossings
             // computed from the stale trajectory.
@@ -515,28 +483,21 @@ impl<'a> Engine<'a> {
 
     /// Permanent hardware death of sensor `s` at the current instant.
     fn apply_hw_death(&mut self, s: usize) {
-        if self.sensors[s].hw_dead {
+        if self.sensors.hw_dead(s) {
             return;
         }
         let now = self.clock.now();
         self.settle(s);
         self.min_battery = Joules(0.0);
-        let st = &mut self.sensors[s];
-        st.level = Joules(0.0);
-        st.updated = now;
-        st.hw_dead = true;
-        st.ever_dead = true;
-        // Keep an earlier battery-death instant: downtime has been
-        // accruing since then.
-        if st.dead_since.is_none() {
-            st.dead_since = Some(now);
-        }
-        if st.first_death.is_none() {
-            st.first_death = Some(now);
-        }
-        st.gen += 1;
-        if st.low {
-            st.low = false;
+        self.sensors.set_level(s, Joules(0.0));
+        self.sensors.set_updated(s, now);
+        self.sensors.set_hw_dead(s);
+        // `mark_dead_at` keeps an earlier battery-death instant:
+        // downtime has been accruing since then.
+        self.sensors.mark_dead_at(s, now);
+        self.sensors.bump_gen(s);
+        if self.sensors.low(s) {
+            self.sensors.set_low(s, false);
             self.low_count -= 1;
         }
         self.hw_dead_list.push(s);
@@ -571,11 +532,13 @@ impl<'a> Engine<'a> {
     fn handle(&mut self, ev: Event) -> Result<(), DesError> {
         match ev {
             Event::LowBattery { sensor, gen } => {
-                let st = &self.sensors[sensor];
-                if st.hw_dead || st.gen != gen || st.low {
+                if self.sensors.hw_dead(sensor)
+                    || u64::from(self.sensors.gen(sensor)) != gen
+                    || self.sensors.low(sensor)
+                {
                     return Ok(());
                 }
-                self.sensors[sensor].low = true;
+                self.sensors.set_low(sensor, true);
                 self.low_count += 1;
                 if self.round_active > 0 {
                     // Low mid-round with no service still scheduled: the
@@ -589,22 +552,14 @@ impl<'a> Engine<'a> {
                 Ok(())
             }
             Event::Depleted { sensor, gen } => {
-                let st = &self.sensors[sensor];
-                if st.hw_dead || st.gen != gen {
+                if self.sensors.hw_dead(sensor) || u64::from(self.sensors.gen(sensor)) != gen {
                     return Ok(());
                 }
                 let now = self.clock.now();
                 self.settle(sensor);
                 self.min_battery = Joules(0.0);
-                let st = &mut self.sensors[sensor];
-                st.level = Joules(0.0);
-                st.ever_dead = true;
-                if st.dead_since.is_none() {
-                    st.dead_since = Some(now);
-                }
-                if st.first_death.is_none() {
-                    st.first_death = Some(now);
-                }
+                self.sensors.set_level(sensor, Joules(0.0));
+                self.sensors.mark_dead_at(sensor, now);
                 Ok(())
             }
             Event::Dispatch => {
@@ -827,7 +782,7 @@ impl<'a> Engine<'a> {
                 .sensors
                 .iter()
                 .map(|&ci| self.orig_of[ci])
-                .filter(|&o| !self.sensors[o].hw_dead)
+                .filter(|&o| !self.sensors.hw_dead(o))
                 .collect();
             self.round_planned.extend(members.iter().copied());
             if schedule.is_some() {
@@ -844,7 +799,7 @@ impl<'a> Engine<'a> {
             for (ci, death) in sched.deaths.iter().enumerate() {
                 if let Some(stop) = *death {
                     let orig = self.orig_of[ci];
-                    if !self.sensors[orig].hw_dead && stop < m {
+                    if !self.sensors.hw_dead(orig) && stop < m {
                         self.round_deaths[stop].push(orig);
                     }
                 }
@@ -1023,7 +978,7 @@ impl<'a> Engine<'a> {
         }
         // Direct-mode stranding: planned, still alive, not served.
         for s in std::mem::take(&mut self.round_planned) {
-            if !self.sensors[s].hw_dead && !self.round_served[s] {
+            if !self.sensors.hw_dead(s) && !self.round_served[s] {
                 self.stranded_rounds += 1;
             }
         }
@@ -1087,7 +1042,7 @@ impl<'a> Engine<'a> {
         for s in 0..n {
             let level = self.settle(s);
             self.min_battery = self.min_battery.min(level);
-            if let Some(dead_at) = self.sensors[s].dead_since.take() {
+            if let Some(dead_at) = self.sensors.take_dead_since(s) {
                 self.downtime += horizon.since(dead_at);
             }
         }
@@ -1108,7 +1063,7 @@ impl<'a> Engine<'a> {
             charger_energy_j: self.charger_energy,
             downtime_sensor_s: self.downtime,
             availability,
-            sensors_ever_dead: self.sensors.iter().filter(|s| s.ever_dead).count(),
+            sensors_ever_dead: self.sensors.ever_dead_count(),
             min_battery_j: if n == 0 { Joules(0.0) } else { self.min_battery },
             max_battery_j: if n == 0 { Joules(0.0) } else { self.max_battery },
             fault_deaths: self.fault_death_count,
@@ -1117,10 +1072,8 @@ impl<'a> Engine<'a> {
             extra_energy_j: self.extra_energy,
             replans: self.replans,
             base_returns: self.base_returns,
-            first_death_s: self
-                .sensors
-                .iter()
-                .map(|s| s.first_death.map(|t| t.seconds()))
+            first_death_s: (0..n)
+                .map(|s| self.sensors.first_death(s).map(Time::seconds))
                 .collect(),
             events_processed: self.events_processed,
             events_scheduled: self.queue.scheduled_total(),

@@ -5,9 +5,14 @@
 //! replay intervals with a single charger. This crate replaces that
 //! substrate with a discrete-event engine:
 //!
-//! - a binary-heap **event queue** keyed by `(time, sequence)`
+//! - an **event queue** keyed by `(time, sequence)`
 //!   ([`queue::EventQueue`]), so simultaneous events resolve by scheduling
-//!   order — never by heap internals;
+//!   order — never by queue internals. Two backends implement the same
+//!   contract ([`queue::QueueBackend`]): the default binary heap and a
+//!   calendar queue for campaign-scale pending sets;
+//! - **SoA battery state** ([`state::SensorBank`]): per-field lanes and
+//!   bit-packed flags keep 100k-sensor long-horizon runs memory-lean
+//!   (~36.4 bytes/sensor);
 //! - a **logical clock** in `bc-units` types ([`clock::Time`],
 //!   [`clock::Clock`]); raw `f64` time arithmetic is confined to the clock
 //!   module and linted everywhere else (`cargo xtask lint`, rule
@@ -49,12 +54,14 @@ pub mod event;
 pub mod fleet;
 pub mod queue;
 pub mod scenario;
+pub mod state;
 pub mod trace;
 
 pub use clock::{Clock, Time};
 pub use engine::{run, DesError, DesReport, LedgerImbalance};
 pub use event::Event;
 pub use fleet::{assign_stops, ChargerLedger, DispatchPolicy};
-pub use queue::{EventQueue, Scheduled};
+pub use queue::{EventQueue, QueueBackend, Scheduled};
 pub use scenario::{FleetConfig, Scenario, ScenarioError};
+pub use state::SensorBank;
 pub use trace::{TraceRecord, TraceRing};

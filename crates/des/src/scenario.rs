@@ -7,6 +7,7 @@
 
 use crate::clock;
 use crate::fleet::DispatchPolicy;
+use crate::queue::QueueBackend;
 use bc_core::execute::RecoveryPolicy;
 use bc_core::faults::{FaultModel, FaultModelError};
 use bc_core::planner::Algorithm;
@@ -69,6 +70,9 @@ pub struct Scenario {
     pub fleet: FleetConfig,
     /// Capacity of the event-trace ring buffer (0 disables tracing).
     pub trace_capacity: usize,
+    /// Future-event-queue backend. Backend choice affects throughput
+    /// only; pop order — and therefore the trace — is identical.
+    pub queue: QueueBackend,
 }
 
 impl Scenario {
@@ -92,6 +96,7 @@ impl Scenario {
             recovery: RecoveryPolicy::SkipAndContinue,
             fleet: FleetConfig::single(),
             trace_capacity: 256,
+            queue: QueueBackend::BinaryHeap,
         }
     }
 
@@ -99,6 +104,13 @@ impl Scenario {
     #[must_use]
     pub fn with_fleet(mut self, size: usize, dispatch: DispatchPolicy) -> Self {
         self.fleet = FleetConfig { size, dispatch };
+        self
+    }
+
+    /// Selects the future-event-queue backend.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueBackend) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -224,9 +236,11 @@ mod tests {
     fn builders_compose() {
         let s = Scenario::paper_sim(net(), 10.0, Algorithm::BcOpt)
             .with_fleet(3, DispatchPolicy::RoundRobin)
-            .with_faults(FaultModel::with_rate(1, 0.1), RecoveryPolicy::SkipAndContinue);
+            .with_faults(FaultModel::with_rate(1, 0.1), RecoveryPolicy::SkipAndContinue)
+            .with_queue(QueueBackend::Calendar);
         assert_eq!(s.fleet.size, 3);
         assert!(s.faults.is_some());
+        assert_eq!(s.queue, QueueBackend::Calendar);
         assert!(s.validate().is_ok());
     }
 }

@@ -13,6 +13,47 @@ pub const REQUIRED_DENIES: [&str; 4] = [
     "cast_sign_loss",
 ];
 
+/// Every `crates/*` member registered with the lint engine. The
+/// determinism passes scope rules by crate name, so a crate added to
+/// the workspace but missing here would silently escape them;
+/// [`check_registration_completeness`] turns that silence into a
+/// `lint-table-drift` finding instead.
+pub const REGISTERED_CRATES: [&str; 16] = [
+    "bench", "campaign", "core", "des", "geom", "lint", "obs", "serve",
+    "setcover", "sim", "testbed", "tsp", "units", "wpt", "wsn", "xtask",
+];
+
+/// Checks every scanned `crates/*` directory is registered in
+/// [`REGISTERED_CRATES`]. `crate_dirs` is the scan set from
+/// [`crate::workspace::crate_dirs`]; the root facade entry (not under
+/// `crates/`) is skipped.
+pub fn check_registration_completeness(
+    root: &Path,
+    crate_dirs: &[std::path::PathBuf],
+) -> Vec<Diagnostic> {
+    let crates_root = root.join("crates");
+    let mut out = Vec::new();
+    for dir in crate_dirs {
+        if !dir.starts_with(&crates_root) {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !REGISTERED_CRATES.contains(&name.as_str()) {
+            out.push(drift(
+                format!("crates/{name}/Cargo.toml"),
+                format!(
+                    "workspace crate `{name}` is not registered in the bc-lint \
+                     manifest (manifest::REGISTERED_CRATES)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Checks the root manifest still denies the required clippy lints.
 pub fn check_lint_table(root: &Path) -> Vec<Diagnostic> {
     let manifest = root.join("Cargo.toml");

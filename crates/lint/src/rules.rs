@@ -169,8 +169,8 @@ impl RuleId {
             }
             RuleId::UnorderedCollection => {
                 "iteration order feeds plans: use BTreeMap/BTreeSet (or sort before \
-                 iterating) in core/des/serve, or add `// det-ok: <reason>` for \
-                 membership-only use"
+                 iterating) in core/des/serve/campaign, or add `// det-ok: <reason>` \
+                 for membership-only use"
             }
             RuleId::WallClock => {
                 "acquire wall time through bc_obs::wall::now() so determinism-sensitive \
@@ -207,7 +207,9 @@ impl RuleId {
             RuleId::PrintBan => "all library code except binary targets",
             RuleId::NakedLock => "all library code outside the raw-lock scope",
             RuleId::RawLockAcquire => "crates/serve except the sync module",
-            RuleId::UnorderedCollection => "crates/core, crates/des, crates/serve",
+            RuleId::UnorderedCollection => {
+                "crates/core, crates/des, crates/serve, crates/campaign"
+            }
             RuleId::WallClock => "all library code except bc_obs::wall and binary targets",
             RuleId::ThreadSpawn => "all library code except bc_core::par and binary targets",
             RuleId::StaleEscape => "every recognized escape marker in scanned code",
@@ -332,7 +334,10 @@ fn bin_target(label: &str) -> bool {
 
 /// Whether `label` is plan-affecting for the unordered-collection rule.
 fn det_collection_scope(label: &str) -> bool {
-    label.contains("crates/core/") || label.contains("crates/des/") || label.contains("crates/serve/")
+    label.contains("crates/core/")
+        || label.contains("crates/des/")
+        || label.contains("crates/serve/")
+        || label.contains("crates/campaign/")
 }
 
 /// Whether `label` falls under the bc-serve raw-lock rule.

@@ -67,6 +67,29 @@ impl HistogramSummary {
         *self.buckets.entry(bucket_of(sample)).or_insert(0) += 1;
     }
 
+    /// Folds `other` into `self`: counts and sums add, min/max widen,
+    /// bucket occupancies add. An empty side is the identity. Sums are
+    /// floats, so merge *order* matters for the low bits — callers that
+    /// need byte-identical merged renderings (the campaign driver) must
+    /// fold snapshots in one canonical order.
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+    }
+
     /// Arithmetic mean of the samples (`0.0` when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -129,6 +152,16 @@ pub struct SpanSummary {
     pub total_s: f64,
 }
 
+impl SpanSummary {
+    /// Folds `other` into `self`: counts and totals add. Like
+    /// [`HistogramSummary::merge`], the float total is order-sensitive
+    /// in the low bits, so canonical-order folding is on the caller.
+    pub fn merge(&mut self, other: &SpanSummary) {
+        self.count += other.count;
+        self.total_s += other.total_s;
+    }
+}
+
 #[derive(Debug, Default)]
 struct Stats {
     counters: BTreeMap<String, u64>,
@@ -144,6 +177,7 @@ struct Stats {
 #[derive(Debug, Default)]
 pub struct StatsRecorder {
     stats: Mutex<Stats>,
+    mask_wall: bool,
 }
 
 impl StatsRecorder {
@@ -151,6 +185,16 @@ impl StatsRecorder {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An aggregator whose span totals mask wall-clock durations to
+    /// `0.0` (span *counts* still accumulate). Snapshots of such a
+    /// recorder contain only simulation-determined quantities, so their
+    /// JSON rendering is byte-identical across runs — the campaign
+    /// driver relies on this for its merged-snapshot stability check.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        StatsRecorder { stats: Mutex::default(), mask_wall: true }
     }
 
     /// Copies the current aggregates out.
@@ -177,7 +221,7 @@ impl Recorder for StatsRecorder {
             (Kind::Span, Value::Wall(elapsed_s)) => {
                 let s = stats.spans.entry(key).or_default();
                 s.count += 1;
-                s.total_s += elapsed_s;
+                s.total_s += if self.mask_wall { 0.0 } else { elapsed_s };
             }
             (Kind::Histogram, Value::F64(sample)) => {
                 stats.histograms.entry(key).or_default().observe(sample);
@@ -231,6 +275,29 @@ impl StatsSnapshot {
     #[must_use]
     pub fn series_count(&self) -> usize {
         self.counters.len() + self.spans.len() + self.histograms.len() + self.events.len()
+    }
+
+    /// Folds `other` into `self`, series by series: counters and event
+    /// counts add, spans and histograms merge via their own `merge`.
+    ///
+    /// Merging is commutative on the integer aggregates but only
+    /// associative-up-to-float-rounding on `sum`/`total_s`, so callers
+    /// that need byte-identical [`StatsSnapshot::to_json`] output across
+    /// runs must fold per-source snapshots in one canonical order (the
+    /// campaign driver folds in ascending seed-index order).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.events {
+            *self.events.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.spans {
+            self.spans.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
     }
 
     /// Renders the snapshot as a deterministic pretty JSON object with
@@ -546,6 +613,65 @@ mod tests {
         r.record(&ev(Kind::Span, Value::Wall(0.5), &[]));
         let text = String::from_utf8(r.into_inner()).unwrap();
         assert!(text.contains("\"value\":0.5"));
+    }
+
+    #[test]
+    fn histogram_merge_widens_and_adds() {
+        let mut a = HistogramSummary::default();
+        a.observe(1.0e-3);
+        a.observe(2.0);
+        let mut b = HistogramSummary::default();
+        b.observe(8.0);
+        b.observe(0.5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.min, 1.0e-3);
+        assert_eq!(merged.max, 8.0);
+        assert!((merged.sum - (1.0e-3 + 2.0 + 8.0 + 0.5)).abs() < 1e-12);
+        // Merging matches observing the union directly, bucket by bucket.
+        let mut direct = HistogramSummary::default();
+        for s in [1.0e-3, 2.0, 8.0, 0.5] {
+            direct.observe(s);
+        }
+        assert_eq!(merged.buckets, direct.buckets);
+        // Empty sides are identities in both directions.
+        let mut empty_lhs = HistogramSummary::default();
+        empty_lhs.merge(&a);
+        assert_eq!(empty_lhs, a);
+        let mut with_empty = a.clone();
+        with_empty.merge(&HistogramSummary::default());
+        assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_all_series() {
+        let r1 = StatsRecorder::new();
+        r1.record(&ev(Kind::Counter, Value::U64(2), &[]));
+        r1.record(&ev(Kind::Histogram, Value::F64(4.0), &[]));
+        r1.record(&ev(Kind::Event, Value::None, &[]));
+        let r2 = StatsRecorder::new();
+        r2.record(&ev(Kind::Counter, Value::U64(3), &[]));
+        r2.record(&ev(Kind::Span, Value::Wall(0.5), &[]));
+        r2.record(&ev(Kind::Event, Value::None, &[]));
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("t.x"), 5);
+        assert_eq!(merged.span_count("t.x"), 1);
+        assert_eq!(merged.event_count("t.x"), 2);
+        assert_eq!(merged.histograms["t.x"].count, 1);
+        crate::json::validate_line(&merged.to_json()).unwrap();
+    }
+
+    #[test]
+    fn deterministic_recorder_masks_span_wall_time() {
+        let r = StatsRecorder::deterministic();
+        r.record(&ev(Kind::Span, Value::Wall(123.456), &[]));
+        r.record(&ev(Kind::Span, Value::Wall(7.0), &[]));
+        let s = r.snapshot();
+        assert_eq!(s.span_count("t.x"), 2, "span counts survive masking");
+        assert_eq!(s.span_total_s("t.x"), 0.0, "wall totals are masked");
+        assert!(!s.to_json().contains("123.456"));
     }
 
     #[test]

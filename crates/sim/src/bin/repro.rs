@@ -1,14 +1,20 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|des|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|des|campaign|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
 //! output directory (default `results/`). The `des` subcommand is a
 //! discrete-event-engine smoke benchmark: it runs a 3-charger fleet
 //! scenario on `bc-des` and writes `BENCH_des.json` (events/sec, replan
-//! count, fleet utilization) for the CI `des-smoke` artifact. The `obs`
+//! count, fleet utilization) for the CI `des-smoke` artifact. The
+//! `campaign` subcommand runs the shared `bc-campaign` smoke harness at
+//! reduced scale — queue-backend hold benchmark, seed sweep with rotated
+//! JSONL traces, merge-determinism check — writing `BENCH_des.json`
+//! (trend lines), `campaign_snapshot.json` (byte-stable merged
+//! snapshot) and `campaign_traces/` for the CI `campaign-smoke`
+//! artifact. The `obs`
 //! subcommand exercises the `bc-obs` tracing layer end to end — planner
 //! stages, executor rounds, and a DES run under a stats + JSONL recorder
 //! fanout — writing `BENCH_obs.json` and `obs_trace.jsonl` for the CI
@@ -30,7 +36,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|des|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
+                "usage: repro <check|des|campaign|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -88,6 +94,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if which == "des" {
         return des_smoke(&exp, &out);
+    }
+
+    if which == "campaign" {
+        return campaign_smoke(&out);
     }
 
     if which == "obs" {
@@ -231,6 +241,56 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
     let path = out.join("BENCH_des.json");
     std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("   wrote {}", path.display());
+    Ok(())
+}
+
+/// The `campaign` subcommand: the shared `bc-campaign` smoke harness at
+/// reduced (CI) scale, with rotated trace streaming enabled so the CI
+/// job has trace artifacts to validate and upload. Writes
+/// `BENCH_des.json`, `campaign_snapshot.json` and `campaign_traces/`
+/// into `out`.
+fn campaign_smoke(out: &std::path::Path) -> Result<(), String> {
+    use bc_campaign::{run_smoke, SmokeOptions};
+
+    let mut opts = SmokeOptions::reduced();
+    opts.trace_dir = Some(out.join("campaign_traces"));
+    eprintln!(
+        ">> campaign smoke: {} pending / {} hold ops per queue backend; \
+         {} seeds x {} sensors x {} h on {} workers",
+        opts.pending, opts.hold_ops, opts.seeds, opts.sensors, opts.horizon_hours, opts.workers
+    );
+
+    let report = run_smoke(&opts).map_err(|e| e.to_string())?;
+    for q in &report.queue {
+        eprintln!(
+            "   {:<12} {:>12.0} events/sec  (checksum {})",
+            q.backend.label(),
+            q.events_per_sec,
+            q.checksum
+        );
+    }
+    eprintln!(
+        "   calendar/heap {:.3}x, {:.3} bytes/sensor, {} seeds ok / {} failed, \
+         {:.3} seeds/sec, merge hash {}, {} trace files ({} lines)",
+        report.calendar_vs_heap,
+        report.state_bytes_per_sensor,
+        report.seeds_completed,
+        report.seeds_failed,
+        report.seeds_per_sec,
+        report.merge_hash,
+        report.trace_files,
+        report.trace_lines
+    );
+
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let bench_path = out.join("BENCH_des.json");
+    std::fs::write(&bench_path, report.bench_json())
+        .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
+    eprintln!("   wrote {}", bench_path.display());
+    let snap_path = out.join("campaign_snapshot.json");
+    std::fs::write(&snap_path, &report.snapshot_json)
+        .map_err(|e| format!("writing {}: {e}", snap_path.display()))?;
+    eprintln!("   wrote {}", snap_path.display());
     Ok(())
 }
 

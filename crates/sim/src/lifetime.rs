@@ -153,6 +153,7 @@ pub fn simulate(net: &Network, cfg: &LifetimeConfig) -> LifetimeReport {
         recovery: cfg.recovery,
         fleet: FleetConfig::single(),
         trace_capacity: 0,
+        queue: bc_des::QueueBackend::BinaryHeap,
     };
     let rep = bc_des::run(&scenario).unwrap_or_else(|e| match e {
         DesError::Plan(pe) => panic!("lifetime planning failed: {pe}"),

@@ -20,7 +20,8 @@
 //! | [`wsn`] | `bc-wsn` | sensors, deployments, spatial index |
 //! | [`obs`] | `bc-obs` | structured tracing & metrics: recorder trait, stats/JSONL sinks, zero-cost disabled path |
 //! | [`core`] | `bc-core` | bundle generation (OBG) and the SC / CSS / BC / BC-OPT planners (BTO) |
-//! | [`des`] | `bc-des` | deterministic discrete-event simulation engine: event queue, logical clock, multi-charger fleets, threshold-triggered replanning |
+//! | [`des`] | `bc-des` | deterministic discrete-event simulation engine: pluggable event-queue backends, SoA battery state, logical clock, multi-charger fleets, threshold-triggered replanning |
+//! | [`campaign`] | `bc-campaign` | Monte-Carlo campaign engine: parallel seed sweeps with per-seed panic isolation, deterministic snapshot merging, rotated JSONL trace sinks |
 //! | [`serve`] | `bc-serve` | deadline-aware planning service: degradation ladder, retries with backoff, panic isolation, admission control |
 //! | [`sim`] | `bc-sim` | the per-figure experiment harness |
 //! | [`testbed`] | `bc-testbed` | the simulated robot-car Powercast testbed |
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use bc_campaign as campaign;
 pub use bc_core as core;
 pub use bc_des as des;
 pub use bc_geom as geom;

@@ -31,6 +31,33 @@ fn workspace_is_clean_under_all_passes() {
 }
 
 #[test]
+fn every_workspace_crate_is_registered_with_the_lint_engine() {
+    // The determinism passes scope rules by crate name, so a crate that
+    // exists on disk but is missing from the lint manifest silently
+    // escapes them. The engine itself reports that as lint-table-drift;
+    // this test makes the drift a tier-1 failure and checks the check.
+    let dirs = bc_lint::workspace::crate_dirs(workspace_root());
+    let missing = bc_lint::manifest::check_registration_completeness(workspace_root(), &dirs);
+    assert!(
+        missing.is_empty(),
+        "crates missing from bc-lint manifest::REGISTERED_CRATES:\n{}",
+        missing
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // And the check actually fires: an unregistered directory under
+    // crates/ must produce a lint-table-drift diagnostic.
+    let phantom = workspace_root().join("crates/not-a-registered-crate");
+    let diags =
+        bc_lint::manifest::check_registration_completeness(workspace_root(), &[phantom]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, bc_lint::RuleId::LintTableDrift);
+    assert!(diags[0].excerpt.contains("not-a-registered-crate"));
+}
+
+#[test]
 fn json_report_is_byte_stable_and_validates() {
     let a = bc_lint::run_workspace(workspace_root()).unwrap().render_json();
     let b = bc_lint::run_workspace(workspace_root()).unwrap().render_json();
