@@ -20,8 +20,18 @@
 //! 3. **Observability overhead**: the BC-OPT pipeline with a
 //!    `bc-obs` `NullRecorder` installed vs. no recorder at all. The two
 //!    plans and their metrics must be identical (instrumentation may
-//!    never perturb results); the wall-time ratio is reported so CI can
-//!    flag a disabled-path regression.
+//!    never perturb results) and the thread-local span stack must stay
+//!    empty (the causal profiler may not even allocate ids when
+//!    disabled); the wall-time ratio is reported so CI can flag a
+//!    disabled-path regression.
+//! 4. **Span-tree shape**: one BC-OPT run under a `SpanTreeRecorder`,
+//!    reporting the folded node count and the fraction of the tighten
+//!    stage's wall time attributed to named child spans — the
+//!    acceptance floor for the causal profiler is 90%.
+//!
+//! The document carries a `provenance` stamp (package version, cargo
+//! profile, cores, workers) so `cargo xtask bench-check` can tell a
+//! real regression from a machine-shape change.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -110,7 +120,13 @@ fn run(args: &[String]) -> Result<(), String> {
         if bc_obs::active() {
             return Err("NullRecorder left the emission path active".to_owned());
         }
-        plan_bc_opt_reps(&default_net, &cfg)
+        let out = plan_bc_opt_reps(&default_net, &cfg)?;
+        // Inertness extends to the causal profiler: with emission
+        // disabled no span may have pushed the thread-local stack.
+        if bc_obs::span_stack_depth() != 0 {
+            return Err("span stack grew under NullRecorder — ScopedSpan is not inert".to_owned());
+        }
+        Ok(out)
     })?;
     if null_plan != bare_plan {
         return Err("plan differs under NullRecorder — instrumentation is not inert".into());
@@ -121,19 +137,45 @@ fn run(args: &[String]) -> Result<(), String> {
     let overhead_ratio = null_s / bare_s.max(1e-12);
     eprintln!(
         "   bare {bare_s:.3} s, null-recorder {null_s:.3} s, ratio {overhead_ratio:.4} \
-         (plans and metrics identical)"
+         (plans and metrics identical, span stack untouched)"
     );
 
+    eprintln!(">> span-tree shape: BC-OPT under SpanTreeRecorder");
+    let tree = std::sync::Arc::new(bc_obs::tree::SpanTreeRecorder::new());
+    let tree_plan = bc_obs::with_local(tree.clone(), || {
+        let ctx = PlanContext::new(default_net.clone(), cfg.clone());
+        ctx.plan(Algorithm::BcOpt).map_err(|e| format!("BC-OPT (traced): {e}"))
+    })?;
+    if tree_plan.plan != bare_plan {
+        return Err("plan differs under SpanTreeRecorder — instrumentation is not inert".into());
+    }
+    let snap = tree.snapshot();
+    let tighten = snap
+        .node(&["plan.run", "plan.stage.tighten"])
+        .ok_or("span tree is missing the plan.run -> plan.stage.tighten path")?;
+    let tighten_attribution = 1.0 - tighten.self_s / tighten.total_s.max(1e-12);
+    eprintln!(
+        "   {} folded nodes, tighten attribution {:.1}%",
+        snap.node_count(),
+        tighten_attribution * 100.0
+    );
+
+    let provenance = bc_bench::Provenance::capture().with_workers(workers);
     let json = format!
         (
         "{{\n  \"bench\": \"pipeline_smoke\",\n  \"n\": {n},\n  \"seed\": {seed},\n  \
          \"cores\": {cores},\n  \"workers\": {workers},\n  \"radius_m\": {RADIUS_M},\n  \
+         \"provenance\": {prov},\n  \
          \"num_candidates\": {nc},\n  \"candidates_serial_s\": {serial_s:.6},\n  \
          \"candidates_parallel_s\": {parallel_s:.6},\n  \"candidates_speedup\": {speedup:.3},\n  \
          \"null_recorder\": {{\"bare_s\": {bare_s:.6}, \"null_s\": {null_s:.6}, \
          \"overhead_ratio\": {overhead_ratio:.4}, \"plans_identical\": true}},\n  \
+         \"span_tree\": {{\"nodes\": {nodes}, \
+         \"tighten_attribution_ratio\": {tighten_attribution:.4}}},\n  \
          \"stage_timings\": {{\n{stages}\n  }}\n}}\n",
+        prov = provenance.to_json(),
         nc = serial.candidates.len(),
+        nodes = snap.node_count(),
         stages = stage_json.join(",\n"),
     );
     std::fs::write(&out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;

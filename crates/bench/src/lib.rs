@@ -13,6 +13,10 @@
 use bc_geom::{Aabb, Point};
 use bc_wsn::{deploy, Network};
 
+// Re-exported so every BENCH_*.json emitter stamps the same provenance
+// shape without each binary reaching into bc-obs's module tree.
+pub use bc_obs::provenance::Provenance;
+
 /// A seeded uniform network at the evaluation's dense-field density.
 pub fn dense_network(n: usize, seed: u64) -> Network {
     deploy::uniform(n, Aabb::square(300.0), 2.0, seed)

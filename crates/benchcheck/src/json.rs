@@ -1,0 +1,393 @@
+//! A tiny JSON *reader* for bench artifacts.
+//!
+//! `bc_obs::json` only validates structure; the observatory has to read
+//! values back out of `BENCH_*.json` to diff them, and the workspace
+//! vendors no real serde. Object key order is preserved (a `Vec`, not a
+//! map) so parse → render pipelines stay deterministic, though the
+//! comparator itself flattens into sorted paths.
+
+use std::collections::BTreeMap;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (read as f64 — bench metrics are all within
+    /// 2^53, where f64 is exact for integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match; `None` otherwise).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A scalar at the end of a flattened path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Leaf {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl std::fmt::Display for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Leaf::Num(v) => write!(f, "{v}"),
+            Leaf::Str(s) => write!(f, "{s:?}"),
+            Leaf::Bool(b) => write!(f, "{b}"),
+            Leaf::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Flattens a document into `dotted.path → leaf` (array elements keyed
+/// by index). Sorted by path, so comparisons iterate deterministically.
+#[must_use]
+pub fn flatten(doc: &Json) -> BTreeMap<String, Leaf> {
+    let mut out = BTreeMap::new();
+    flatten_into(doc, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(value: &Json, path: String, out: &mut BTreeMap<String, Leaf>) {
+    let join = |p: &str, seg: &str| {
+        if p.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{p}.{seg}")
+        }
+    };
+    match value {
+        Json::Null => {
+            out.insert(path, Leaf::Null);
+        }
+        Json::Bool(b) => {
+            out.insert(path, Leaf::Bool(*b));
+        }
+        Json::Num(v) => {
+            out.insert(path, Leaf::Num(*v));
+        }
+        Json::Str(s) => {
+            out.insert(path, Leaf::Str(s.clone()));
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_into(item, join(&path, &i.to_string()), out);
+            }
+        }
+        Json::Obj(members) => {
+            for (k, v) in members {
+                flatten_into(v, join(&path, k), out);
+            }
+        }
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected there.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: expected {}", self.at, self.expected)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses exactly one JSON value with nothing but whitespace around it.
+///
+/// # Errors
+///
+/// A [`ParseError`] locating the first offending byte.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError { at: p.pos, expected: "end of input" });
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, expected: &'static str) -> ParseError {
+        ParseError { at: self.pos, expected }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8], value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("a JSON literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("'\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("closing '\"'"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.hex4()?;
+                            // Surrogates and astral escapes are not worth
+                            // decoding for bench paths; map unpaired ones
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            continue;
+                        }
+                        _ => return Err(self.err("an escape character")),
+                    }
+                    self.pos += 1;
+                }
+                0x00..=0x1f => return Err(self.err("no raw control characters")),
+                _ => {
+                    // Re-borrow the source slice to keep UTF-8 intact.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&c| c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                        |_| ParseError { at: start, expected: "valid UTF-8" },
+                    )?);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        self.pos += 1; // past 'u'
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(&h) = self.bytes.get(self.pos) else {
+                return Err(self.err("4 hex digits"));
+            };
+            let digit = match h {
+                b'0'..=b'9' => u32::from(h - b'0'),
+                b'a'..=b'f' => u32::from(h - b'a') + 10,
+                b'A'..=b'F' => u32::from(h - b'A') + 10,
+                _ => return Err(self.err("4 hex digits")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while p.bytes.get(p.pos).is_some_and(u8::is_ascii_digit) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return Err(self.err("a digit"));
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(self.err("a fraction digit"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(self.err("an exponent digit"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { at: start, expected: "ASCII number" })?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| ParseError { at: start, expected: "a finite number" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+        let doc = parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        let a = doc.get("a").unwrap();
+        assert_eq!(a, &Json::Arr(vec![Json::Num(1.0), Json::Obj(vec![("b".into(), Json::Str("x".into()))])]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [r#"{"a":}"#, "1.", "{} {}", "\"open", "nope", ""] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
+    }
+
+    #[test]
+    fn flatten_produces_dotted_paths() {
+        let doc = parse(r#"{"a": {"b": 1, "c": [true, "x"]}, "d": null}"#).unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(flat["a.b"], Leaf::Num(1.0));
+        assert_eq!(flat["a.c.0"], Leaf::Bool(true));
+        assert_eq!(flat["a.c.1"], Leaf::Str("x".into()));
+        assert_eq!(flat["d"], Leaf::Null);
+        assert_eq!(flat.len(), 4);
+    }
+
+    #[test]
+    fn bench_sized_integers_are_exact() {
+        let Json::Num(v) = parse("1234567890123").unwrap() else { panic!("number") };
+        assert_eq!(v, 1_234_567_890_123.0);
+    }
+}

@@ -450,7 +450,16 @@ where
     };
     let run = catch_unwind(AssertUnwindSafe(|| {
         let scenario = make(seed);
-        bc_obs::with_local(recorder, || bc_des::run(&scenario))
+        bc_obs::with_local(recorder, || {
+            // Per-seed root span: the DES engine's own `des.run` tree
+            // nests under it, so a tree recorder over a campaign groups
+            // by seed at the top. If `bc_des::run` panics, the guard's
+            // Drop still pops the worker thread's span stack.
+            let span = bc_obs::ScopedSpan::enter("campaign", "seed");
+            let result = bc_des::run(&scenario);
+            span.finish();
+            result
+        })
     }));
     // The fanout (sole other holder of the jsonl Arc) died with the
     // closure, so the unwrap-and-finish below always succeeds; a failure

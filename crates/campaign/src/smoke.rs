@@ -204,8 +204,12 @@ impl SmokeReport {
                 q.checksum
             ));
         }
+        let provenance = bc_obs::provenance::Provenance::capture()
+            .with_workers(self.workers)
+            .with_queue_backend("calendar");
         format!(
             "{{\n  \"bench\": \"campaign_smoke\",\n  \"cores\": {cores},\n  \
+             \"provenance\": {prov},\n  \
              \"workers\": {workers},\n  \"pending\": {pending},\n  \
              \"hold_ops\": {hold_ops},\n  \"queue\": {{\n{queues}\n  }},\n  \
              \"calendar_vs_heap\": {ratio:.3},\n  \
@@ -216,6 +220,7 @@ impl SmokeReport {
              \"events_total\": {events},\n    \
              \"merge_deterministic\": {md}, \"merge_hash\": \"{mh}\",\n    \
              \"trace_files\": {tf}, \"trace_lines\": {tl}\n  }}\n}}\n",
+            prov = provenance.to_json(),
             cores = self.cores,
             workers = self.workers,
             pending = self.options.pending,

@@ -666,6 +666,8 @@ impl PlanContext {
     pub fn candidates(&self) -> &CandidateFamily {
         self.candidates.get_or_init(|| {
             self.counters.candidates.fetch_add(1, Ordering::Relaxed);
+            let build_span =
+                bc_obs::active().then(|| bc_obs::ScopedSpan::enter("plan", "build.candidates"));
             if bc_obs::active() {
                 bc_obs::counter(
                     "plan",
@@ -674,7 +676,16 @@ impl PlanContext {
                     &[bc_obs::Field::new("sensors", self.net.len())],
                 );
             }
-            CandidateFamily::pair_intersection_par(&self.net, self.cfg.bundle_radius.0, self.workers)
+            let family = CandidateFamily::pair_intersection_par(
+                &self.net,
+                self.cfg.bundle_radius.0,
+                self.workers,
+            );
+            if let Some(mut s) = build_span {
+                s.add_field("anchors", family.len());
+                s.finish();
+            }
+            family
         })
     }
 
@@ -684,6 +695,8 @@ impl PlanContext {
     pub fn sensor_matrix(&self) -> &DistanceMatrix {
         self.sensor_matrix.get_or_init(|| {
             self.counters.matrices.fetch_add(1, Ordering::Relaxed);
+            let build_span =
+                bc_obs::active().then(|| bc_obs::ScopedSpan::enter("plan", "build.matrix"));
             if bc_obs::active() {
                 bc_obs::counter(
                     "plan",
@@ -692,7 +705,11 @@ impl PlanContext {
                     &[bc_obs::Field::new("sensors", self.net.len())],
                 );
             }
-            DistanceMatrix::from_points(self.net.positions())
+            let matrix = DistanceMatrix::from_points(self.net.positions());
+            if let Some(s) = build_span {
+                s.finish();
+            }
+            matrix
         })
     }
 
@@ -706,6 +723,8 @@ impl PlanContext {
     pub fn power_table(&self) -> &ReceivePowerTable {
         self.power_table.get_or_init(|| {
             self.counters.power_tables.fetch_add(1, Ordering::Relaxed);
+            let build_span =
+                bc_obs::active().then(|| bc_obs::ScopedSpan::enter("plan", "build.power_table"));
             if bc_obs::active() {
                 bc_obs::counter(
                     "plan",
@@ -715,7 +734,11 @@ impl PlanContext {
                 );
             }
             let demands: Vec<Joules> = self.net.sensors().iter().map(|s| s.demand).collect();
-            ReceivePowerTable::new(&self.cfg.charging, &demands)
+            let table = ReceivePowerTable::new(&self.cfg.charging, &demands);
+            if let Some(s) = build_span {
+                s.finish();
+            }
+            table
         })
     }
 
@@ -815,6 +838,17 @@ impl PlanContext {
         let mut stages_run = 0usize;
         let mut state = StageState::default();
         let mut timings = StageTimings::default();
+        // Root of the causal span tree for this pipeline run: the stage
+        // spans below become its children, so a tree recorder sees
+        // `plan.run -> plan.stage.* -> plan.tighten.round -> ...`. Gated
+        // on `active()` so the disabled path stays exactly as cheap as
+        // before (the NullRecorder inertness bench).
+        let mut run_span = bc_obs::active().then(|| {
+            let mut s = bc_obs::ScopedSpan::enter("plan", "run");
+            s.add_field("algo", algo.name());
+            s.add_field("workers", self.workers);
+            s
+        });
         for stage in stages {
             if let Some(b) = budget {
                 if b.exhausted() {
@@ -833,11 +867,15 @@ impl PlanContext {
                 }
             }
             let builds_before = self.counters.total_builds();
-            let t0 = bc_obs::wall::now();
+            // A causal guard instead of a bare `wall::now()` pair: the
+            // stage span is *open while the stage runs*, so sub-spans
+            // (tighten rounds, artifact builds) parent under it. The
+            // guard still owns the one elapsed measurement that feeds
+            // both the event stream and `StageTimings` — the "one
+            // measurement, two views" contract is unchanged.
+            let mut stage_span = bc_obs::ScopedSpan::enter("plan", stage.kind().span_name());
             stage.run(self, &mut state);
-            let elapsed_s = t0.elapsed().as_secs_f64();
-            timings.add(stage.kind(), Seconds(elapsed_s));
-            if bc_obs::active() {
+            if stage_span.armed() {
                 let cache = if self.counters.total_builds() > builds_before {
                     "miss"
                 } else {
@@ -847,22 +885,19 @@ impl PlanContext {
                     .plan
                     .as_ref()
                     .map_or(state.stops.len(), ChargingPlan::num_charging_stops);
-                bc_obs::span(
-                    "plan",
-                    stage.kind().span_name(),
-                    elapsed_s,
-                    &[
-                        bc_obs::Field::new("algo", algo.name()),
-                        bc_obs::Field::new("cache", cache),
-                        bc_obs::Field::new(
-                            "candidates",
-                            self.candidates.get().map_or(0, CandidateFamily::len),
-                        ),
-                        bc_obs::Field::new("stops", stops),
-                    ],
-                );
+                stage_span.add_field("algo", algo.name());
+                stage_span.add_field("cache", cache);
+                stage_span
+                    .add_field("candidates", self.candidates.get().map_or(0, CandidateFamily::len));
+                stage_span.add_field("stops", stops);
             }
+            let elapsed_s = stage_span.finish();
+            timings.add(stage.kind(), Seconds(elapsed_s));
             stages_run += 1;
+        }
+        if let Some(mut s) = run_span.take() {
+            s.add_field("stages_run", stages_run);
+            s.finish();
         }
         let completed = stages_run == stages_total;
         let plan = match state.plan.take() {

@@ -72,7 +72,14 @@ pub(crate) fn optimize_tour_with_workers(
         .collect();
 
     for _round in 0..cfg.opt_max_rounds {
+        // Causal profiling: one child span per Gauss–Seidel round under
+        // the owning stage span, carrying the per-round relocation count.
+        // Gated on `active()` so the disabled path does not even read the
+        // wall clock per round (the NullRecorder inertness bench).
+        let mut round_span =
+            bc_obs::active().then(|| bc_obs::ScopedSpan::enter("plan", "tighten.round"));
         let mut changed = false;
+        let mut relocations = 0u64;
         #[allow(clippy::needless_range_loop)] // i indexes stops, centers and cyclic neighbours
         for i in 0..n {
             if plan.stops[i].bundle.is_empty() {
@@ -87,7 +94,14 @@ pub(crate) fn optimize_tour_with_workers(
                 let bundle = ChargingBundle::with_anchor(members, anchor, net);
                 plan.stops[i] = Stop::for_bundle(bundle, net, &cfg.charging);
                 changed = true;
+                relocations += 1;
             }
+        }
+        if let Some(mut span) = round_span.take() {
+            bc_obs::counter("plan", "tighten.relocations", relocations, &[]);
+            span.add_field("relocations", relocations);
+            span.add_field("changed", changed);
+            span.finish();
         }
         if !changed {
             break;
@@ -116,9 +130,16 @@ fn best_relocation(
     // movement term is already minimal at the chord's closest approach.
     let d_max = Segment::new(prev, next).distance_to_point(center);
     if d_max <= bc_geom::EPS {
+        bc_obs::counter("plan", "tighten.anchors_pruned", 1, &[]);
         return None;
     }
     let steps = cfg.opt_distance_steps.max(1);
+    // One span per anchor's d-sweep (they fold by name in the tree
+    // recorder), opened on this orchestrator thread only — the par_map
+    // worker closures stay emission-free, which is what keeps span-tree
+    // snapshots byte-identical across worker counts.
+    let sweep_span =
+        bc_obs::active().then(|| bc_obs::ScopedSpan::enter("plan", "tighten.sweep"));
     // Fan out only when one sweep is expensive enough to amortise the
     // thread spawns; the gate changes throughput, never the result.
     let eff_workers = if workers > 1 && stop.bundle.sensors.len() * steps >= 192 {
@@ -135,6 +156,20 @@ fn best_relocation(
         let cost = energy.movement_energy(Meters(t.focal_sum)) + energy.charging_energy(dwell);
         (t.point, cost)
     });
+    if let Some(span) = sweep_span {
+        // Work attribution for the tighten hotspot: candidate anchors
+        // examined and the golden-section evaluations behind them
+        // (Theorem 5's search does a fixed number per candidate).
+        let as_u64 = |v: usize| u64::try_from(v).unwrap_or(u64::MAX);
+        bc_obs::counter("plan", "tighten.candidates", as_u64(steps), &[]);
+        bc_obs::counter(
+            "plan",
+            "tighten.gs_evals",
+            as_u64(steps * tangency::EVALS_PER_SEARCH),
+            &[],
+        );
+        span.finish();
+    }
     let mut best: Option<(Point, Joules)> = None;
     for (point, cost) in evals {
         let gain = current_cost - cost;

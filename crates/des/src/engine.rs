@@ -365,6 +365,10 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<DesReport, DesError> {
+        // Root span of the run's causal tree: every trace event, replan
+        // pipeline and counter the single-threaded engine loop emits
+        // parents under it (replans nest their own `plan.run` subtree).
+        let mut run_span = bc_obs::active().then(|| bc_obs::ScopedSpan::enter("des", "run"));
         self.init_batteries();
         // Pop-first: the calendar backend's pop is amortized O(1) but
         // its peek is a scan, so the loop takes the event and checks the
@@ -378,7 +382,12 @@ impl<'a> Engine<'a> {
             self.trace.push(rec);
             crate::trace::emit_obs(&rec);
             self.events_processed += 1;
+            // A `?` here drops (and so still emits) the open run span.
             self.handle(sch.event)?;
+        }
+        if let Some(mut s) = run_span.take() {
+            s.add_field("events", self.events_processed);
+            s.finish();
         }
         Ok(self.finalize())
     }

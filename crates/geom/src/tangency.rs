@@ -33,11 +33,17 @@ pub struct Tangency {
 /// golden-section refinement. The focal-sum function on a circle has at
 /// most two local minima, so a moderate sample count brackets the global
 /// one reliably.
-const COARSE_SAMPLES: usize = 64;
+pub const COARSE_SAMPLES: usize = 64;
 
 /// Golden-section iterations; each shrinks the bracket by ~0.618, so 48
 /// iterations refine a `2*pi/64` bracket below 1e-11 radians.
-const REFINE_ITERS: usize = 48;
+pub const REFINE_ITERS: usize = 48;
+
+/// Focal-sum evaluations one [`min_focal_sum_on_circle`] call performs —
+/// public so profiling callers (the BC-OPT tighten stage) can attribute
+/// golden-section work to their spans without re-deriving the search's
+/// internals.
+pub const EVALS_PER_SEARCH: usize = COARSE_SAMPLES + REFINE_ITERS;
 
 /// Finds the point on `circle` minimizing the sum of distances to the two
 /// foci `f1` and `f2` (the tangency point of Theorem 4).

@@ -18,9 +18,9 @@ pub const REQUIRED_DENIES: [&str; 4] = [
 /// the workspace but missing here would silently escape them;
 /// [`check_registration_completeness`] turns that silence into a
 /// `lint-table-drift` finding instead.
-pub const REGISTERED_CRATES: [&str; 16] = [
-    "bench", "campaign", "core", "des", "geom", "lint", "obs", "serve",
-    "setcover", "sim", "testbed", "tsp", "units", "wpt", "wsn", "xtask",
+pub const REGISTERED_CRATES: [&str; 17] = [
+    "bench", "benchcheck", "campaign", "core", "des", "geom", "lint", "obs",
+    "serve", "setcover", "sim", "testbed", "tsp", "units", "wpt", "wsn", "xtask",
 ];
 
 /// Checks every scanned `crates/*` directory is registered in

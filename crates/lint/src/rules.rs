@@ -208,7 +208,8 @@ impl RuleId {
             RuleId::NakedLock => "all library code outside the raw-lock scope",
             RuleId::RawLockAcquire => "crates/serve except the sync module",
             RuleId::UnorderedCollection => {
-                "crates/core, crates/des, crates/serve, crates/campaign"
+                "crates/core, crates/des, crates/serve, crates/campaign, \
+                 crates/obs, crates/benchcheck"
             }
             RuleId::WallClock => "all library code except bc_obs::wall and binary targets",
             RuleId::ThreadSpawn => "all library code except bc_core::par and binary targets",
@@ -333,11 +334,16 @@ fn bin_target(label: &str) -> bool {
 }
 
 /// Whether `label` is plan-affecting for the unordered-collection rule.
+/// The profiler (`crates/obs`) and the bench comparator
+/// (`crates/benchcheck`) are in scope because both render byte-stable
+/// documents — hash-order iteration would break snapshot determinism.
 fn det_collection_scope(label: &str) -> bool {
     label.contains("crates/core/")
         || label.contains("crates/des/")
         || label.contains("crates/serve/")
         || label.contains("crates/campaign/")
+        || label.contains("crates/obs/")
+        || label.contains("crates/benchcheck/")
 }
 
 /// Whether `label` falls under the bc-serve raw-lock rule.

@@ -76,11 +76,13 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod provenance;
 pub mod recorders;
+pub mod tree;
 pub mod wall;
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// A structured field value.
@@ -220,6 +222,27 @@ impl ObsEvent<'_> {
     }
 }
 
+/// Causal position of an event relative to the emitting thread's span
+/// stack (see [`ScopedSpan`]).
+///
+/// Span ids are process-global and unique per run — they are *pairing
+/// keys* for tree-building recorders, never serialized output (the same
+/// logical span gets a different id on every run, so a byte-stable sink
+/// must key on names, not ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCtx {
+    /// For a completed [`Kind::Span`] opened through [`ScopedSpan`]: the
+    /// span's own id. `None` for every other event (including flat
+    /// [`span`] emissions, which are treated as instantaneous leaves).
+    pub id: Option<u64>,
+    /// The innermost span open on this thread when the event was
+    /// emitted: a completed span's parent, or the span a counter /
+    /// histogram sample is attributed to. `None` at the stack root.
+    pub parent: Option<u64>,
+    /// Stack depth at emission (0 = no enclosing span).
+    pub depth: usize,
+}
+
 /// A thread-safe event sink.
 ///
 /// Implementations must be cheap to call from hot loops (the built-in
@@ -228,6 +251,16 @@ impl ObsEvent<'_> {
 pub trait Recorder: Send + Sync {
     /// Consumes one event.
     fn record(&self, event: &ObsEvent<'_>);
+
+    /// Consumes one event together with its causal [`SpanCtx`]. The
+    /// dispatch layer always calls this entry point; the default
+    /// implementation discards the context and forwards to
+    /// [`Recorder::record`], so flat recorders need not care. Tree
+    /// recorders ([`tree::SpanTreeRecorder`]) override it, and fanouts
+    /// must forward it so causality survives composition.
+    fn record_ctx(&self, event: &ObsEvent<'_>, _ctx: SpanCtx) {
+        self.record(event);
+    }
 
     /// Whether this recorder wants events at all. The dispatch layer
     /// caches this at install time: a recorder answering `false` (the
@@ -247,6 +280,32 @@ thread_local! {
     /// events, `Some(false)` = local recorder installed but silent
     /// (overrides the global), `None` = no local recorder.
     static LOCAL_STATE: Cell<Option<bool>> = const { Cell::new(None) };
+    /// Ids of the spans currently open on this thread, outermost first.
+    /// Pushed by [`ScopedSpan::enter`], popped on guard drop (LIFO holds
+    /// through panic unwinds because inner guards drop first).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-global span id source. Ids only need to be unique within a
+/// run (they pair a completed span with its parent), so a relaxed
+/// counter shared by every thread is enough.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Depth of the current thread's span stack (0 = no open [`ScopedSpan`]).
+/// Instrumented code can assert this returns to its entry value — the
+/// unwind-safety tests pin that a panic inside a nested span leaves no
+/// orphaned frame behind.
+#[must_use]
+pub fn span_stack_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// The [`SpanCtx`] a non-span event emitted right now would carry.
+fn ambient_ctx() -> SpanCtx {
+    SPAN_STACK.with(|s| {
+        let stack = s.borrow();
+        SpanCtx { id: None, parent: stack.last().copied(), depth: stack.len() }
+    })
 }
 
 /// Installs `recorder` process-wide. Replaces any previous global
@@ -316,7 +375,14 @@ fn current() -> Option<Arc<dyn Recorder>> {
 #[inline]
 fn dispatch(event: &ObsEvent<'_>) {
     if let Some(r) = current() {
-        r.record(event);
+        r.record_ctx(event, ambient_ctx());
+    }
+}
+
+#[inline]
+fn dispatch_ctx(event: &ObsEvent<'_>, ctx: SpanCtx) {
+    if let Some(r) = current() {
+        r.record_ctx(event, ctx);
     }
 }
 
@@ -406,6 +472,138 @@ impl Drop for SpanGuard {
     }
 }
 
+/// RAII *causal* span guard: like [`SpanGuard`], but the span joins the
+/// thread-local span stack, so every event emitted between `enter` and
+/// the guard's close — child spans, counters, histograms — carries this
+/// span's id as its [`SpanCtx::parent`].
+///
+/// The guard always measures wall time (the caller may want the elapsed
+/// seconds even with recording disabled — `run_stages_budgeted` feeds
+/// the same measurement into `StageTimings`), but it only touches the
+/// span stack and emits an event when recording was [`active`] at
+/// `enter` time. An unarmed guard is fully inert: no id is assigned, no
+/// stack frame is pushed, nothing is emitted — the NullRecorder
+/// bit-identity check extends to the span stack through this property.
+///
+/// Closing pops the stack defensively by searching for the guard's own
+/// id from the top (rather than asserting it *is* the top): during a
+/// panic unwind inner guards drop first, so LIFO order holds naturally,
+/// and the search makes the pop self-healing if an inner guard ever
+/// leaked its frame.
+///
+/// ```
+/// let mut outer = bc_obs::ScopedSpan::enter("plan", "run");
+/// {
+///     let inner = bc_obs::ScopedSpan::enter("plan", "stage.cover");
+///     // counters emitted here are attributed to stage.cover
+///     inner.finish();
+/// }
+/// outer.add_field("algo", "bc_opt");
+/// let _elapsed_s = outer.finish();
+/// ```
+#[must_use = "dropping the guard immediately measures nothing"]
+pub struct ScopedSpan {
+    scope: &'static str,
+    name: &'static str,
+    started: std::time::Instant,
+    fields: Vec<Field>,
+    /// `Some((id, parent, depth))` when the guard is armed (recording
+    /// was active at enter); `None` keeps the guard inert.
+    frame: Option<(u64, Option<u64>, usize)>,
+    done: bool,
+}
+
+impl ScopedSpan {
+    /// Starts a causal span now. When recording is [`active`], assigns a
+    /// fresh span id and pushes it onto this thread's span stack;
+    /// otherwise the guard is inert (time is still measured).
+    pub fn enter(scope: &'static str, name: &'static str) -> Self {
+        let frame = if active() {
+            let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            let (parent, depth) = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let parent = stack.last().copied();
+                let depth = stack.len();
+                stack.push(id);
+                (parent, depth)
+            });
+            Some((id, parent, depth))
+        } else {
+            None
+        };
+        ScopedSpan {
+            scope,
+            name,
+            started: crate::wall::now(),
+            fields: Vec::new(),
+            frame,
+            done: false,
+        }
+    }
+
+    /// Whether this guard will emit an event on close (recording was
+    /// active at `enter`). Callers use this to skip building fields for
+    /// an inert guard.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.frame.is_some()
+    }
+
+    /// This span's id, when armed. Exposed for tests that pin parentage.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.frame.map(|(id, _, _)| id)
+    }
+
+    /// Attaches a field to the eventual span event. No-op when unarmed.
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.frame.is_some() {
+            self.fields.push(Field::new(key, value));
+        }
+    }
+
+    /// Ends the span, emits it (when armed), and returns the elapsed
+    /// wall-clock seconds — measured unconditionally so the caller can
+    /// feed legacy aggregates from the same reading.
+    pub fn finish(mut self) -> f64 {
+        self.done = true;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        self.close(elapsed);
+        elapsed
+    }
+
+    fn close(&mut self, elapsed_s: f64) {
+        let Some((id, parent, depth)) = self.frame.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&open| open == id) {
+                stack.truncate(pos);
+            }
+        });
+        dispatch_ctx(
+            &ObsEvent {
+                scope: self.scope,
+                name: self.name,
+                kind: Kind::Span,
+                value: Value::Wall(elapsed_s),
+                fields: &self.fields,
+            },
+            SpanCtx { id: Some(id), parent, depth },
+        );
+    }
+}
+
+impl Drop for ScopedSpan {
+    fn drop(&mut self) {
+        if !self.done {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            self.close(elapsed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +670,45 @@ mod tests {
         assert_eq!(Value::from(1.5f64), Value::F64(1.5));
         assert_eq!(Value::from("x"), Value::Str("x"));
         assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn scoped_span_tracks_stack_and_parent() {
+        let stats = Arc::new(StatsRecorder::new());
+        with_local(stats.clone(), || {
+            assert_eq!(span_stack_depth(), 0);
+            let outer = ScopedSpan::enter("t", "outer");
+            assert!(outer.armed());
+            assert_eq!(span_stack_depth(), 1);
+            {
+                let inner = ScopedSpan::enter("t", "inner");
+                assert_eq!(span_stack_depth(), 2);
+                assert!(inner.id() > outer.id());
+                inner.finish();
+            }
+            assert_eq!(span_stack_depth(), 1);
+            outer.finish();
+            assert_eq!(span_stack_depth(), 0);
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.span_count("t.outer"), 1);
+        assert_eq!(snap.span_count("t.inner"), 1);
+    }
+
+    #[test]
+    fn scoped_span_is_inert_when_disabled() {
+        std::thread::spawn(|| {
+            assert!(!active());
+            let mut s = ScopedSpan::enter("t", "inert");
+            assert!(!s.armed());
+            assert_eq!(s.id(), None);
+            assert_eq!(span_stack_depth(), 0, "inert guard must not touch the stack");
+            s.add_field("k", 1u64);
+            let elapsed = s.finish();
+            assert!(elapsed >= 0.0, "time is still measured when disabled");
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

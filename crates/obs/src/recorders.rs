@@ -12,7 +12,7 @@
 //! * [`FanoutRecorder`] — duplicates each event to several sinks.
 
 use crate::json::{escape_into, number_into};
-use crate::{Kind, ObsEvent, Recorder, Value};
+use crate::{Kind, ObsEvent, Recorder, SpanCtx, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::{Mutex, PoisonError};
@@ -45,6 +45,10 @@ pub struct HistogramSummary {
     pub count: u64,
     /// Sum of all samples.
     pub sum: f64,
+    /// Sum of squared samples (with `count` and `sum`, enough for an
+    /// exact mean and a population standard deviation — BENCH_serve.json
+    /// mean latency comes from these moments, not the log2 buckets).
+    pub sum_sq: f64,
     /// Smallest sample (`0.0` when empty).
     pub min: f64,
     /// Largest sample (`0.0` when empty).
@@ -64,6 +68,7 @@ impl HistogramSummary {
         }
         self.count += 1;
         self.sum += sample;
+        self.sum_sq += sample * sample;
         *self.buckets.entry(bucket_of(sample)).or_insert(0) += 1;
     }
 
@@ -85,6 +90,7 @@ impl HistogramSummary {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
         for (&bucket, &n) in &other.buckets {
             *self.buckets.entry(bucket).or_insert(0) += n;
         }
@@ -98,6 +104,18 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64 // cast-ok: sample count to divisor
         }
+    }
+
+    /// Population standard deviation from the exact moments (`0.0` when
+    /// empty; the variance is clamped at zero against float rounding).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64; // cast-ok: sample count to divisor
+        let mean = self.sum / n;
+        (self.sum_sq / n - mean * mean).max(0.0).sqrt()
     }
 
     /// Estimated `q`-quantile (`q` in `[0, 1]`) from the log2 buckets.
@@ -325,6 +343,8 @@ impl StatsSnapshot {
             number_into(out, h.max);
             out.push_str(", \"mean\": ");
             number_into(out, h.mean());
+            out.push_str(", \"stddev\": ");
+            number_into(out, h.stddev());
             out.push_str(", \"log2_buckets\": {");
             let mut first = true;
             for (b, n) in &h.buckets {
@@ -457,6 +477,16 @@ impl Recorder for FanoutRecorder {
         for s in &self.sinks {
             if s.enabled() {
                 s.record(event);
+            }
+        }
+    }
+
+    // Forwarded explicitly so tree-building sinks behind a fanout still
+    // see causality — the default would flatten the ctx away.
+    fn record_ctx(&self, event: &ObsEvent<'_>, ctx: SpanCtx) {
+        for s in &self.sinks {
+            if s.enabled() {
+                s.record_ctx(event, ctx);
             }
         }
     }
@@ -613,6 +643,38 @@ mod tests {
         r.record(&ev(Kind::Span, Value::Wall(0.5), &[]));
         let text = String::from_utf8(r.into_inner()).unwrap();
         assert!(text.contains("\"value\":0.5"));
+    }
+
+    #[test]
+    fn histogram_moments_are_exact_not_bucket_approximated() {
+        // 3.0 and 5.0 share the [2,4)/[4,8) log2 buckets with lots of
+        // other values; the mean must come from the exact sum, not the
+        // bucket midpoints.
+        let mut h = HistogramSummary::default();
+        for s in [3.0, 5.0, 7.0, 9.0] {
+            h.observe(s);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 24.0);
+        assert_eq!(h.sum_sq, 9.0 + 25.0 + 49.0 + 81.0);
+        assert_eq!(h.mean(), 6.0, "mean is exact");
+        let expected_var: f64 = (9.0 + 25.0 + 49.0 + 81.0) / 4.0 - 36.0;
+        assert!((h.stddev() - expected_var.sqrt()).abs() < 1e-12);
+        // Moments survive a merge exactly.
+        let mut other = HistogramSummary::default();
+        other.observe(11.0);
+        h.merge(&other);
+        assert_eq!(h.sum, 35.0);
+        assert_eq!(h.sum_sq, 9.0 + 25.0 + 49.0 + 81.0 + 121.0);
+        assert_eq!(h.mean(), 7.0);
+        // And the snapshot JSON carries them.
+        let r = StatsRecorder::new();
+        r.record(&ev(Kind::Histogram, Value::F64(3.0), &[]));
+        r.record(&ev(Kind::Histogram, Value::F64(5.0), &[]));
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"sum\": 8"), "exact sum in JSON:\n{json}");
+        assert!(json.contains("\"mean\": 4"), "exact mean in JSON:\n{json}");
+        assert!(json.contains("\"stddev\": 1"), "exact stddev in JSON:\n{json}");
     }
 
     #[test]

@@ -187,6 +187,8 @@ pub struct LoadReport {
     pub elapsed_s: f64,
     /// Service counter snapshot.
     pub stats: ServeStatsSnapshot,
+    /// Build/machine shape the run was measured under.
+    pub provenance: bc_obs::provenance::Provenance,
 }
 
 impl LoadReport {
@@ -226,6 +228,8 @@ impl LoadReport {
         }
         out.push_str(",\"chaos\":");
         out.push_str(if self.chaos { "true" } else { "false" });
+        out.push_str(",\"provenance\":");
+        out.push_str(&self.provenance.to_json());
         for (k, v) in [
             ("p50_ms", self.latency.p50_ms),
             ("p99_ms", self.latency.p99_ms),
@@ -378,6 +382,9 @@ pub fn run(profile: &LoadProfile) -> Result<LoadReport, ServeError> {
         },
         elapsed_s: elapsed.as_secs_f64(),
         stats,
+        provenance: bc_obs::provenance::Provenance::capture()
+            .with_workers(profile.serve.workers)
+            .with_queue_backend("bounded-channel"),
     })
 }
 

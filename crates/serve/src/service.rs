@@ -482,8 +482,21 @@ pub(crate) fn run_ladder(
     for (i, &algo) in rungs.iter().enumerate() {
         let is_final = i + 1 == rungs.len();
         let budget = budget_for(i, is_final);
+        // One child span per ladder rung under the request span; the
+        // plan pipeline this rung runs parents its own `plan.run` tree
+        // underneath. A `?` early-return drops (and so still emits) it.
+        let mut rung_span = bc_obs::active().then(|| {
+            let mut s = bc_obs::ScopedSpan::enter("serve", "rung");
+            s.add_field("algo", algo.name());
+            s.add_field("level", i);
+            s
+        });
         let (out, revision) = entry.plan_budgeted_checked(algo, &budget, i > 0)?;
         stages_run += out.stages_run;
+        if let Some(mut s) = rung_span.take() {
+            s.add_field("landed", out.plan.is_some());
+            s.finish();
+        }
         if let Some(staged) = out.plan {
             let level = u8::try_from(i).unwrap_or(u8::MAX);
             if bc_obs::active() && (level > 0 || !out.completed) {
@@ -550,6 +563,10 @@ fn worker_loop(shared: &Shared) {
 
 /// Handles one job end to end; always delivers exactly one response.
 fn process(shared: &Shared, job: Job) {
+    // Root span of the request's causal tree on this worker thread: the
+    // ladder rungs (and the plan pipelines inside them) parent under it,
+    // and the latency sample below is attributed to it.
+    let mut req_span = bc_obs::active().then(|| bc_obs::ScopedSpan::enter("serve", "request"));
     let result = execute(shared, &job);
     match &result {
         Ok(resp) => {
@@ -571,6 +588,10 @@ fn process(shared: &Shared, job: Job) {
     if bc_obs::active() {
         let ms = job.submitted.elapsed().as_secs_f64() * 1e3;
         bc_obs::histogram("serve", "latency_ms", ms, &[]);
+    }
+    if let Some(mut s) = req_span.take() {
+        s.add_field("ok", result.is_ok());
+        s.finish();
     }
     job.slot.deliver(result);
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro <check|des|campaign|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
+//! repro <check|des|campaign|obs|serve|profile|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> [--runs N] [--seed S] [--out DIR]
 //! ```
 //!
 //! Prints each figure's data table and writes a CSV per table into the
@@ -21,7 +21,12 @@
 //! `obs-smoke` artifact. The `serve` subcommand runs the `bc-serve`
 //! chaos harness — seeded stall/failure/panic injection at saturating
 //! load — writing `BENCH_serve.json` and `serve_trace.jsonl` for the CI
-//! `serve-smoke` artifact.
+//! `serve-smoke` artifact. The `profile` subcommand runs BC-OPT under
+//! the causal span-tree profiler and writes `span_tree.json` (folded
+//! tree with self-time accounting, critical path, work-attribution
+//! counters) plus `profile.folded` (collapsed stacks — feed straight
+//! into `flamegraph.pl` or speedscope); it fails unless at least 90% of
+//! the tighten stage's wall time is attributed to named child spans.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,7 +41,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro <check|des|campaign|obs|serve|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
+                "usage: repro <check|des|campaign|obs|serve|profile|fig6|ablations|lifetime|faults|fig10|fig11|fig12|fig13|fig14|fig16|timings|all> \
                  [--runs N] [--seed S] [--out DIR]"
             );
             ExitCode::FAILURE
@@ -106,6 +111,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if which == "serve" {
         return serve_smoke(&exp, &out);
+    }
+
+    if which == "profile" {
+        return profile(&exp, &out);
     }
 
     type Job = (&'static str, fn(&ExpConfig) -> Vec<Table>);
@@ -214,8 +223,11 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
             )
         })
         .collect();
+    let provenance =
+        bc_obs::provenance::Provenance::capture().with_queue_backend(scenario.queue.label());
     let json = format!(
         "{{\n  \"bench\": \"des_smoke\",\n  \"n\": {N},\n  \"seed\": {seed},\n  \
+         \"provenance\": {prov},\n  \
          \"fleet\": {FLEET},\n  \"dispatch\": \"{dispatch}\",\n  \
          \"horizon_s\": {horizon:.1},\n  \"elapsed_s\": {elapsed_s:.6},\n  \
          \"events_processed\": {events},\n  \"events_scheduled\": {scheduled},\n  \
@@ -224,6 +236,7 @@ fn des_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
          \"charger_energy_j\": {energy:.3},\n  \"fleet_utilization\": {util:.6},\n  \
          \"sensors_ever_dead\": {dead},\n  \"trace_dropped\": {dropped},\n  \
          \"fleet_ledgers\": [\n{ledgers}\n  ]\n}}\n",
+        prov = provenance.to_json(),
         dispatch = scenario.fleet.dispatch.label(),
         horizon = scenario.horizon_s.get(),
         events = report.events_processed,
@@ -475,6 +488,112 @@ fn serve_smoke(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
     std::fs::write(&bench_path, bench)
         .map_err(|e| format!("writing {}: {e}", bench_path.display()))?;
     eprintln!("   wrote {}", bench_path.display());
+    Ok(())
+}
+
+/// The `profile` subcommand: run BC-OPT under the causal span-tree
+/// profiler and write `span_tree.json` + `profile.folded` into `out`.
+///
+/// The run fails unless the tighten subtree attributes at least
+/// [`TIGHTEN_ATTRIBUTION_FLOOR`] of its wall time to named child spans —
+/// the acceptance floor for the profiler's usefulness: a tighten stage
+/// that is mostly unexplained self-time means the sub-span
+/// instrumentation has rotted.
+fn profile(exp: &ExpConfig, out: &std::path::Path) -> Result<(), String> {
+    use std::sync::Arc;
+
+    use bc_core::context::PlanContext;
+    use bc_core::planner::Algorithm;
+    use bc_core::PlannerConfig;
+    use bc_geom::Aabb;
+    use bc_obs::tree::SpanTreeRecorder;
+    use bc_wsn::deploy;
+
+    /// Minimum share of the tighten stage's wall time that must land in
+    /// named child spans.
+    const TIGHTEN_ATTRIBUTION_FLOOR: f64 = 0.90;
+    const N: usize = 100;
+    let seed = exp.base_seed;
+    eprintln!(">> profile: BC-OPT on {N} sensors under the span-tree profiler, seed {seed}");
+
+    let net = deploy::uniform(N, Aabb::square(300.0), 2.0, seed);
+    let cfg = PlannerConfig::paper_sim(25.0);
+    let tree = Arc::new(SpanTreeRecorder::new());
+    let started = std::time::Instant::now();
+    bc_obs::with_local(tree.clone(), || {
+        let ctx = PlanContext::new(net, cfg);
+        ctx.plan(Algorithm::BcOpt).map(|_| ()).map_err(|e| format!("BC-OPT: {e}"))
+    })?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let snap = tree.snapshot();
+    let critical: Vec<String> = snap
+        .critical_path()
+        .iter()
+        .map(|n| {
+            let mut s = String::new();
+            bc_obs::json::escape_into(&mut s, &n.name);
+            s
+        })
+        .collect();
+    let tighten = snap
+        .node(&["plan.run", "plan.stage.tighten"])
+        .ok_or("span tree is missing the plan.run -> plan.stage.tighten path")?;
+    let attribution = 1.0 - tighten.self_s / tighten.total_s.max(1e-12);
+    // Work counters attach to the innermost open span (the sweep), so
+    // sum them over the whole tighten subtree.
+    fn subtree_counter(node: &bc_obs::tree::TreeNode, key: &str) -> u64 {
+        node.counters.get(key).copied().unwrap_or(0)
+            + node.children.iter().map(|c| subtree_counter(c, key)).sum::<u64>()
+    }
+    let gs_evals = subtree_counter(tighten, "plan.tighten.gs_evals");
+    eprintln!(
+        "   {} folded nodes in {elapsed_s:.3} s; critical path {}; \
+         tighten attribution {:.1}% ({} golden-section evals)",
+        snap.node_count(),
+        snap.critical_path()
+            .iter()
+            .map(|n| n.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        attribution * 100.0,
+        gs_evals,
+    );
+    if attribution < TIGHTEN_ATTRIBUTION_FLOOR {
+        return Err(format!(
+            "tighten attribution {:.1}% is below the {:.0}% floor — \
+             sub-span instrumentation no longer covers the stage",
+            attribution * 100.0,
+            TIGHTEN_ATTRIBUTION_FLOOR * 100.0
+        ));
+    }
+
+    let provenance = bc_obs::provenance::Provenance::capture();
+    let doc = format!(
+        "{{\n  \"bench\": \"profile\",\n  \"n\": {N},\n  \"seed\": {seed},\n  \
+         \"elapsed_s\": {elapsed_s:.6},\n  \"provenance\": {prov},\n  \
+         \"nodes\": {nodes},\n  \"critical_path\": [{critical}],\n  \
+         \"tighten_attribution_ratio\": {attribution:.4},\n  \
+         \"gs_evals\": {gs_evals},\n  \
+         \"tree\": {tree_json}\n}}\n",
+        prov = provenance.to_json(),
+        nodes = snap.node_count(),
+        critical = critical.join(", "),
+        tree_json = snap.to_json(),
+    );
+    bc_obs::json::validate_line(doc.trim_end())
+        .map_err(|e| format!("span_tree.json failed self-validation: {e}"))?;
+
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let tree_path = out.join("span_tree.json");
+    std::fs::write(&tree_path, &doc)
+        .map_err(|e| format!("writing {}: {e}", tree_path.display()))?;
+    eprintln!("   wrote {}", tree_path.display());
+    let folded_path = out.join("profile.folded");
+    std::fs::write(&folded_path, snap.collapsed())
+        .map_err(|e| format!("writing {}: {e}", folded_path.display()))?;
+    eprintln!("   wrote {}", folded_path.display());
+    eprintln!("   flamegraph: flamegraph.pl {} > flame.svg", folded_path.display());
     Ok(())
 }
 

@@ -20,8 +20,10 @@ use bundle_charging::core::{ChargingPlan, Executor, FaultModel, PlannerConfig, R
 use bundle_charging::des::{DispatchPolicy, Scenario};
 use bundle_charging::geom::Aabb;
 use bundle_charging::obs::recorders::{JsonlRecorder, NullRecorder, StatsRecorder};
-use bundle_charging::obs::Recorder;
+use bundle_charging::obs::tree::SpanTreeRecorder;
+use bundle_charging::obs::{Recorder, ScopedSpan};
 use bundle_charging::wsn::{deploy, Network};
+use proptest::prelude::*;
 
 fn network(n: usize, seed: u64) -> Network {
     deploy::uniform(n, Aabb::square(250.0), 2.0, seed)
@@ -181,4 +183,87 @@ fn stats_recorder_spans_mirror_stage_timings() {
     );
     // The second revision rebuilt its artifacts (new network).
     assert!(snap.counter("plan.build.candidates") >= 2);
+}
+
+/// A panic inside a nested span must unwind cleanly: the open guards
+/// drop in reverse order, the thread-local span stack pops back to the
+/// catch point, and spans entered *after* the recovery parent under the
+/// still-open ancestor — not under the span that died.
+#[test]
+fn panicking_span_unwinds_the_stack_and_siblings_reparent() {
+    let tree = Arc::new(SpanTreeRecorder::deterministic());
+    bundle_charging::obs::with_local(Arc::clone(&tree) as Arc<dyn Recorder>, || {
+        let root = ScopedSpan::enter("t", "root");
+        assert_eq!(bundle_charging::obs::span_stack_depth(), 1);
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = ScopedSpan::enter("t", "doomed");
+            let _inner = ScopedSpan::enter("t", "inner");
+            assert_eq!(bundle_charging::obs::span_stack_depth(), 3);
+            panic!("injected");
+        }));
+        assert!(caught.is_err(), "the panic must propagate to catch_unwind");
+        assert_eq!(
+            bundle_charging::obs::span_stack_depth(),
+            1,
+            "unwind must pop both dying guards off the thread-local stack"
+        );
+
+        // Work resumes: a sibling span after the recovery point.
+        let survivor = ScopedSpan::enter("t", "survivor");
+        survivor.finish();
+        root.finish();
+        assert_eq!(bundle_charging::obs::span_stack_depth(), 0);
+    });
+
+    let snap = tree.snapshot();
+    // Both dying spans were emitted by their Drop impls mid-unwind, in
+    // reverse (inner-first) order, correctly parented.
+    assert_eq!(snap.node(&["t.root", "t.doomed", "t.inner"]).map(|n| n.count), Some(1));
+    // The survivor is a *sibling* of the doomed span, under the root.
+    assert_eq!(snap.node(&["t.root", "t.survivor"]).map(|n| n.count), Some(1));
+    assert!(
+        snap.node(&["t.root", "t.doomed", "t.survivor"]).is_none(),
+        "post-panic spans must not parent under the span that died"
+    );
+}
+
+/// Builds the masked span-tree snapshot JSON of one BC-OPT plan.
+fn span_tree_json(net: &Network, cfg: &PlannerConfig, workers: usize) -> String {
+    let tree = Arc::new(SpanTreeRecorder::deterministic());
+    bundle_charging::obs::with_local(Arc::clone(&tree) as Arc<dyn Recorder>, || {
+        PlanContext::new(net.clone(), cfg.clone())
+            .with_workers(workers)
+            .plan(Algorithm::BcOpt)
+            .unwrap_or_else(|e| panic!("BC-OPT plans at {workers} workers: {e}"));
+    });
+    tree.snapshot().to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The profiler's determinism contract: with wall durations masked,
+    /// the folded span-tree snapshot — structure, fold counts, and every
+    /// work-attribution counter — is byte-identical across worker counts,
+    /// because all spans and counters are emitted on the single-threaded
+    /// orchestrator, never inside worker closures.
+    #[test]
+    fn span_tree_snapshot_is_byte_identical_across_worker_counts(
+        seed in 0u64..500,
+        n in 25usize..40,
+    ) {
+        let net = network(n, seed);
+        let cfg = PlannerConfig::paper_sim(25.0);
+        let one = span_tree_json(&net, &cfg, 1);
+        let two = span_tree_json(&net, &cfg, 2);
+        let four = span_tree_json(&net, &cfg, 4);
+        prop_assert!(!one.is_empty());
+        prop_assert_eq!(&one, &two, "1 vs 2 workers");
+        prop_assert_eq!(&two, &four, "2 vs 4 workers");
+        // And the snapshot shows the causal chain the profiler exists
+        // for: tighten rounds under the stage span, counters attached.
+        prop_assert!(one.contains("\"plan.stage.tighten\""), "{}", one);
+        prop_assert!(one.contains("\"plan.tighten.gs_evals\""), "{}", one);
+    }
 }
